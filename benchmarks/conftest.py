@@ -1,0 +1,47 @@
+"""Shared fixtures for the experiment harness.
+
+Every bench regenerates one of the paper's figures/claims (see the
+experiment index in DESIGN.md) and both prints its table and appends it
+to ``benchmarks/results/<bench>.txt``, so results survive pytest's
+output capturing and can be pasted into EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title, headers, rows, notes=""):
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(row[i]))
+    lines = ["", "=== %s ===" % title]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    if notes:
+        lines.append(notes)
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def report(request):
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _report(title, headers, rows, notes=""):
+        text = format_table(title, headers, rows, notes)
+        print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        filename = os.path.join(
+            RESULTS_DIR, request.node.name.replace("/", "_") + ".txt"
+        )
+        with open(filename, "a") as handle:
+            handle.write(text)
+
+    return _report

@@ -1,0 +1,65 @@
+"""A1 — Ablation: merger wiring conventions (DESIGN.md D1).
+
+Section 2.1's prose sends the even outputs of *both* BITONIC halves to
+the top MERGER; the AHS94 construction sends even-of-top and odd-of-
+bottom. This bench measures step-property violation rates under both
+conventions, demonstrating the prose wording is a typo and the AHS94
+convention is what the paper's Theorem 2.1 needs.
+"""
+
+import random
+
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+from repro.core.verification import has_step_property
+from repro.core.wiring import MergerConvention
+
+
+def violation_rate(width, convention, trials, rng):
+    tree = DecompositionTree(width)
+    violations = 0
+    for _ in range(trials):
+        net = CutNetwork(Cut.random(tree, rng, 0.6), convention)
+        net.feed_counts([rng.randint(0, 5) for _ in range(width)])
+        if not has_step_property(net.output_counts):
+            violations += 1
+    return violations
+
+
+def test_ablation_merger_wiring(report, benchmark):
+    trials = 200
+    rows = []
+    for width in (4, 8, 16, 32):
+        rng = random.Random(width)
+        good = violation_rate(width, MergerConvention.AHS94, trials, rng)
+        rng = random.Random(width)
+        bad = violation_rate(width, MergerConvention.PAPER_PROSE, trials, rng)
+        rows.append(
+            (
+                width,
+                trials,
+                good,
+                bad,
+                "%.0f%%" % (100.0 * bad / trials),
+            )
+        )
+        assert good == 0
+        assert bad > 0
+    report(
+        "Ablation A1 - step-property violations by merger convention "
+        "(%d random cut+workload trials per width)" % trials,
+        ["w", "trials", "AHS94 violations", "paper-prose violations", "prose rate"],
+        rows,
+        notes="The literal Section 2.1 wording (even/even) breaks counting; the AHS94 "
+        "wiring (even/odd) never does. See DESIGN.md D1 for the 4-wire counterexample.",
+    )
+
+    tree = DecompositionTree(16)
+    cut = Cut.level(tree, 1)
+
+    def run_good():
+        net = CutNetwork(cut, MergerConvention.AHS94)
+        net.feed_counts([2] * 16)
+        return net.output_counts
+
+    benchmark(run_good)

@@ -1,0 +1,82 @@
+"""C3 — Section 3.4 / [HT03]: self-stabilisation from *state corruption*.
+
+Complements C2 (crash-loss recovery): here no state is lost, but
+transient faults scramble component counters ([Dij74]'s model). The
+audit recomputes each component's expected state from its in-neighbours
+in one topological pass and repairs mismatches locally. The bench
+reports detection completeness, repair exactness, and the post-repair
+health of the network across corruption severities.
+"""
+
+import random
+
+from repro.runtime.audit import corrupt_components
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def test_audit_stabilization(report, benchmark):
+    rows = []
+    for severity in (1, 3, 6, 12):
+        system = AdaptiveCountingSystem(width=64, seed=500 + severity, initial_nodes=30)
+        system.converge()
+        for _ in range(100):
+            system.inject_token()
+        system.run_until_quiescent()
+        reference = {
+            path: system.hosts[system.directory.owner(path)].components[path].copy()
+            for path in system.directory.live_paths()
+        }
+        rng = random.Random(severity)
+        victims = corrupt_components(system, rng, severity)
+        changed = [
+            path
+            for path in victims
+            if system.hosts[system.directory.owner(path)].components[path].total
+            != reference[path].total
+            or system.hosts[system.directory.owner(path)].components[path].arrivals
+            != reference[path].arrivals
+        ]
+        audit_report = system.auditor.audit()
+        exact = all(
+            system.hosts[system.directory.owner(path)].components[path].total
+            == reference[path].total
+            and system.hosts[system.directory.owner(path)].components[path].arrivals
+            == reference[path].arrivals
+            for path in system.directory.live_paths()
+        )
+        # post-repair traffic must be flawless
+        tokens = [system.inject_token() for _ in range(60)]
+        system.run_until_quiescent()
+        values = sorted(t.value for t in tokens)
+        gap_free = values == list(range(100, 160))
+        rows.append(
+            (
+                severity,
+                len(changed),
+                len(audit_report.repaired),
+                "yes" if exact else "no",
+                "yes" if system.auditor.audit().clean else "no",
+                "yes" if gap_free else "no",
+            )
+        )
+        assert set(audit_report.repaired) == set(changed)
+        assert exact and gap_free
+    report(
+        "Section 3.4 / HT03 - state-corruption audit and repair",
+        [
+            "components corrupted",
+            "actually changed",
+            "repaired",
+            "exact restore",
+            "2nd pass clean",
+            "post-repair values gap-free",
+        ],
+        rows,
+        notes="One topological audit pass detects exactly the corrupted components, "
+        "restores their pre-fault states from in-neighbour counters, and the network "
+        "counts flawlessly afterwards.",
+    )
+
+    system = AdaptiveCountingSystem(width=32, seed=501, initial_nodes=20)
+    system.converge()
+    benchmark(lambda: system.auditor.audit().components_checked)

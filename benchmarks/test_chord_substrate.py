@@ -1,0 +1,107 @@
+"""SUB — the Section 1.4 substrate assumption, discharged.
+
+The paper assumes "an underlying routing service which provides
+efficient routing to an object given the object's name" (Chord). We run
+the actual Chord maintenance protocol (joins, stabilize/notify,
+fix_fingers, successor lists, failure detection) as messages over the
+simulator and measure: convergence after growth, O(log N) lookup hops,
+and ring healing after crashes — the properties the rest of the
+reproduction takes as given.
+"""
+
+import math
+import random
+
+from repro.chord.protocol import ChordProtocolNetwork
+
+
+def grow(network, n):
+    for _ in range(n - len(network.nodes)):
+        bootstrap = network.rng.choice(sorted(network.nodes))
+        network.join(bootstrap)
+        network.run_rounds(2)
+
+
+def test_chord_substrate(report, benchmark):
+    rows = []
+    for n in (8, 16, 32, 64):
+        network = ChordProtocolNetwork(seed=n)
+        network.create_first()
+        grow(network, n)
+        rounds = 0
+        while not (network.is_converged() and network.converged_predecessors()):
+            network.run_rounds(1)
+            rounds += 1
+            assert rounds < 100, "ring failed to converge"
+        network.run_rounds(3 * network.space.bits // n + 40)  # warm fingers
+        rng = random.Random(n + 1)
+        ring = network.true_ring()
+        import bisect
+
+        hops_seen = []
+        correct = 0
+        for _ in range(60):
+            key = network.space.random_id(rng)
+            owner, hops = network.lookup(rng.choice(ring), key)
+            hops_seen.append(hops)
+            expected = ring[bisect.bisect_left(ring, key) % len(ring)]
+            if owner == expected:
+                correct += 1
+        rows.append(
+            (
+                n,
+                rounds,
+                "%d/60" % correct,
+                "%.2f" % (sum(hops_seen) / len(hops_seen)),
+                max(hops_seen),
+                "%.2f" % math.log2(n),
+            )
+        )
+        assert correct == 60
+    report(
+        "Substrate - live Chord protocol: convergence, lookup hops vs log N",
+        [
+            "N",
+            "extra rounds to converge",
+            "correct lookups",
+            "mean hops",
+            "max hops",
+            "log2 N",
+        ],
+        rows,
+        notes="Mean lookup hops track ~(1/2..1) log2 N, the Chord guarantee the paper "
+        "builds on; every lookup resolves to the true successor.",
+    )
+
+    # Healing: crash a batch of nodes, count rounds until re-converged.
+    healing_rows = []
+    for crash_count in (1, 2, 4):
+        network = ChordProtocolNetwork(seed=99 + crash_count)
+        network.create_first()
+        grow(network, 24)
+        network.run_rounds(10)
+        rng = random.Random(crash_count)
+        for _ in range(crash_count):
+            network.crash(rng.choice(network.true_ring()))
+        rounds = 0
+        while not network.is_converged():
+            network.run_rounds(1)
+            rounds += 1
+            assert rounds < 100, "ring failed to heal"
+        healing_rows.append((24, crash_count, rounds))
+    report(
+        "Substrate - ring healing after simultaneous crashes (N = 24)",
+        ["N", "crashed", "rounds to re-converge"],
+        healing_rows,
+        notes="Successor lists bridge crashed nodes; stabilisation repairs pointers in "
+        "a handful of rounds.",
+    )
+
+    def converge_small():
+        network = ChordProtocolNetwork(seed=7)
+        network.create_first()
+        grow(network, 8)
+        network.run_rounds(4)
+        return network.is_converged()
+
+    benchmark(converge_small)

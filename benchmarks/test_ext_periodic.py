@@ -1,0 +1,167 @@
+"""EXT — the paper's closing generalisation claim, tested.
+
+"Though we discuss the bitonic network, our technique could be applied
+to build an adaptive implementation of any distributed data structure
+which can be decomposed in a recursive way." We instantiate the
+framework for the *periodic* counting network (reflection layers + half
+blocks, non-uniform leaf depths, non-halving child widths) and measure
+whether the Theorem 2.1 analogue holds: does every cut count?
+"""
+
+import itertools
+import random
+
+from repro.core.cut import Cut, CutNetwork
+from repro.core.verification import has_step_property
+from repro.ext.periodic_adaptive import (
+    PeriodicWiring,
+    block_level_cut_paths,
+    periodic_tree,
+)
+
+
+def all_cuts(tree):
+    def expand(spec):
+        options = [frozenset([spec.path])]
+        if not spec.is_leaf:
+            combos = [frozenset()]
+            for child in spec.children():
+                combos = [c | o for c in combos for o in expand(child)]
+            options.extend(combos)
+        return options
+
+    return expand(tree.root)
+
+
+def test_ext_periodic_generalisation(report, benchmark):
+    rows = []
+
+    # Width 4: exhaustive over all cuts and workloads.
+    tree4 = periodic_tree(4)
+    wiring4 = PeriodicWiring(tree4)
+    cuts4 = all_cuts(tree4)
+    checks = violations = 0
+    for paths in cuts4:
+        cut = Cut(tree4, paths)
+        for counts in itertools.product(range(3), repeat=4):
+            net = CutNetwork(cut, wiring=wiring4)
+            net.feed_counts(list(counts))
+            checks += 1
+            if not has_step_property(net.output_counts):
+                violations += 1
+    rows.append((4, "exhaustive: %d cuts" % len(cuts4), checks, violations))
+
+    # Widths 8-32: random cuts, random workloads, reconfig histories.
+    for width in (8, 16, 32):
+        tree = periodic_tree(width)
+        wiring = PeriodicWiring(tree)
+        rng = random.Random(width)
+        checks = violations = 0
+        for _ in range(80):
+            net = CutNetwork(Cut.random(tree, rng, 0.5), wiring=wiring)
+            for _batch in range(2):
+                net.feed_counts([rng.randint(0, 4) for _ in range(width)])
+                checks += 1
+                if not has_step_property(net.output_counts):
+                    violations += 1
+        for _ in range(10):
+            net = CutNetwork(Cut(tree, [()]), wiring=wiring)
+            for _step in range(8):
+                net.feed_counts([rng.randint(0, 3) for _ in range(width)])
+                paths = sorted(net.states)
+                path = paths[rng.randrange(len(paths))]
+                if rng.random() < 0.55 and not net.states[path].spec.is_leaf:
+                    net.split_member(path)
+                elif path:
+                    try:
+                        net.merge_member(path[:-1])
+                    except Exception:
+                        pass
+                checks += 1
+                if not has_step_property(net.output_counts):
+                    violations += 1
+        rows.append((width, "random cuts + reconfig", checks, violations))
+
+    report(
+        "Extension - adaptive PERIODIC network: does every cut count?",
+        ["w", "regime", "checks", "step violations"],
+        rows,
+        notes="Zero violations everywhere: the Theorem 2.1 analogue holds empirically "
+        "for the periodic decomposition, supporting the paper's generalisation claim "
+        "(a per-structure proof would still be needed).",
+    )
+    for _w, _regime, _checks, violation_count in rows:
+        assert violation_count == 0
+
+    # Deployment-shape comparison: block-level vs fully split.
+    tree = periodic_tree(32)
+    wiring = PeriodicWiring(tree)
+    from repro.core import metrics
+
+    shape_rows = []
+    for name, paths in (
+        ("singleton", [()]),
+        ("block-level", block_level_cut_paths(tree)),
+        ("fully split", sorted(Cut.leaves(tree).paths)),
+    ):
+        net = CutNetwork(Cut(tree, paths), wiring=wiring)
+        measured = metrics.measure(net)
+        shape_rows.append(
+            (name, measured.num_components, measured.effective_width, measured.effective_depth)
+        )
+    report(
+        "Extension - periodic cut granularities (w = 32)",
+        ["cut", "components", "eff width", "eff depth"],
+        shape_rows,
+        notes="Blocks compose in series, so the periodic tree trades depth rather than "
+        "width at coarse granularities - a structural contrast with the bitonic tree.",
+    )
+
+    # Full-runtime deployment of the adaptive periodic network: the
+    # generalisation claim end to end (rules, protocols, recovery).
+    from repro.runtime.system import AdaptiveCountingSystem
+
+    runtime_rows = []
+    for n in (1, 10, 30):
+        runtime_tree = periodic_tree(32)
+        system = AdaptiveCountingSystem(
+            width=32,
+            seed=600 + n,
+            initial_nodes=n,
+            tree=runtime_tree,
+            wiring=PeriodicWiring(runtime_tree),
+        )
+        system.converge()
+        tokens = [system.inject_token() for _ in range(50)]
+        system.run_until_quiescent()
+        assert sorted(t.value for t in tokens) == list(range(50))
+        system.verify()
+        measured = __import__("repro.core.metrics", fromlist=["measure"]).measure(
+            system.snapshot_network()
+        )
+        runtime_rows.append(
+            (
+                n,
+                len(system.directory),
+                system.stats.splits,
+                measured.effective_width,
+                measured.effective_depth,
+            )
+        )
+    report(
+        "Extension - adaptive periodic network on the full runtime (50 tokens each)",
+        ["N", "components", "splits", "eff width", "eff depth"],
+        runtime_rows,
+        notes="The unchanged distributed runtime (estimation, rules, protocols, "
+        "verification) deploys the periodic structure end to end; all tokens counted "
+        "correctly at every size.",
+    )
+
+    cut = Cut(tree, block_level_cut_paths(tree))
+
+    def run_block_cut():
+        net = CutNetwork(cut, wiring=wiring)
+        net.feed_counts([2] * 32)
+        return net.output_counts
+
+    benchmark(run_block_cut)

@@ -1,0 +1,57 @@
+"""F2 — Figure 2: the decomposition tree ``T_8`` and two example cuts.
+
+The paper's figure shows ``T_8`` with two cuts. The figure images are
+not in the text, but the accompanying Figure 3 pins cut1 down exactly:
+it must yield effective width 2 and effective depth 5, which is the cut
+{children of the root, with the top BITONIC[4] split one level further}.
+cut2 is chosen as another representative mixed-level cut (the bottom
+MERGER[4] split instead). The bench regenerates the tree listing and
+both cuts' member tables.
+"""
+
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+
+
+def figure2_cut1(tree):
+    return Cut.singleton(tree).split(()).split((0,))
+
+
+def figure2_cut2(tree):
+    return Cut.singleton(tree).split(()).split((3,))
+
+
+def test_fig2_tree_and_cuts(report, benchmark):
+    tree = DecompositionTree(8)
+    rows = [
+        (
+            tree.preorder_index(spec),
+            spec.label(),
+            spec.level,
+            "balancer" if spec.is_leaf else "%d children" % spec.num_children(),
+        )
+        for spec in tree.iter_preorder()
+    ]
+    report(
+        "Figure 2 - T_8: all %d components in pre-order (the naming scheme)" % tree.size(),
+        ["name (pre-order)", "component", "level", "kind"],
+        rows,
+    )
+
+    for cut_name, cut in (("cut1", figure2_cut1(tree)), ("cut2", figure2_cut2(tree))):
+        members = [
+            (tree.preorder_index(m), m.label(), m.level) for m in cut.members()
+        ]
+        report(
+            "Figure 2 - %s members (%d components)" % (cut_name, len(cut)),
+            ["name", "component", "level"],
+            members,
+        )
+
+    # Both cuts must be valid implementations of BITONIC[8] (Thm 2.1).
+    for cut in (figure2_cut1(tree), figure2_cut2(tree)):
+        net = CutNetwork(cut)
+        net.feed_counts([3, 1, 4, 1, 5, 9, 2, 6])
+        net.verify_step_property()
+
+    benchmark(lambda: figure2_cut1(DecompositionTree(8)))

@@ -1,0 +1,59 @@
+"""L23 — Lemma 2.3: effective width >= 2^k for min leaf level k.
+
+Uniform level-k cuts have width exactly 2^k (the network is isomorphic
+to BITONIC[2^(k+1)]); splits never decrease the width (the proof's
+monotonicity argument).
+"""
+
+import random
+
+from repro.core import metrics
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+
+
+def test_lemma23_width_bound(report, benchmark):
+    rows = []
+    for width in (8, 16, 32, 64):
+        tree = DecompositionTree(width)
+        for level in range(tree.max_level + 1):
+            measured = metrics.effective_width(CutNetwork(Cut.level(tree, level)))
+            bound = metrics.lemma23_bound(level)
+            rows.append((width, level, measured, bound))
+            assert measured >= bound
+            assert measured == 2 ** level  # exact for uniform cuts
+    report(
+        "Lemma 2.3 - effective width of uniform level-k cuts vs 2^k",
+        ["w", "k (level)", "measured width", "bound 2^k"],
+        rows,
+    )
+
+    rng = random.Random(23)
+    monotone_rows = []
+    for width in (16, 32):
+        tree = DecompositionTree(width)
+        checked = decreases = 0
+        for _ in range(30):
+            net = CutNetwork(Cut.random(tree, rng, 0.4))
+            before = metrics.effective_width(net)
+            splittable = [
+                p for p in net.states if not net.states[p].spec.is_leaf
+            ]
+            if not splittable:
+                continue
+            net.split_member(splittable[rng.randrange(len(splittable))])
+            after = metrics.effective_width(net)
+            checked += 1
+            if after < before:
+                decreases += 1
+        monotone_rows.append((width, checked, decreases))
+        assert decreases == 0
+    report(
+        "Lemma 2.3 - splits never decrease effective width",
+        ["w", "random splits checked", "width decreases observed"],
+        monotone_rows,
+    )
+
+    tree = DecompositionTree(32)
+    cut = Cut.level(tree, 2)
+    benchmark(lambda: metrics.effective_width(CutNetwork(cut)))

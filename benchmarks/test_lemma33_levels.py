@@ -1,0 +1,48 @@
+"""L33 — Lemma 3.3: all level estimates lie in [ell* - 4, ell* + 4].
+
+Reports, per system size, the ideal level ell*, the range of node level
+estimates, and the worst deviation (the paper's window is +/-4; in
+practice the estimates hug ell* much tighter).
+"""
+
+from collections import Counter
+
+from repro.chord.estimation import LevelEstimator
+from repro.chord.ring import ChordRing
+
+
+def test_lemma33_level_estimates(report, benchmark):
+    width = 1 << 14
+    rows = []
+    for n in (64, 128, 256, 512, 1024, 2048, 4096):
+        ring = ChordRing(seed=n)
+        for _ in range(n):
+            ring.join()
+        estimator = LevelEstimator(width, ring)
+        star = estimator.ideal_level()
+        levels = [estimator.level_estimate(v.node_id) for v in ring.nodes()]
+        histogram = Counter(levels)
+        deviation = max(abs(level - star) for level in levels)
+        rows.append(
+            (
+                n,
+                star,
+                min(levels),
+                max(levels),
+                deviation,
+                dict(sorted(histogram.items())),
+            )
+        )
+        assert deviation <= 4
+    report(
+        "Lemma 3.3 - node level estimates vs ell* (window is +/-4)",
+        ["N", "ell*", "min ell_v", "max ell_v", "worst |ell_v - ell*|", "histogram"],
+        rows,
+    )
+
+    ring = ChordRing(seed=512)
+    for _ in range(512):
+        ring.join()
+    estimator = LevelEstimator(width, ring)
+    node_id = ring.nodes()[0].node_id
+    benchmark(lambda: estimator.level_estimate(node_id))

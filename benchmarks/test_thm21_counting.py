@@ -1,0 +1,67 @@
+"""T21 — Theorem 2.1: the network formed by any cut of ``T_w`` counts.
+
+Sweeps widths, random cuts, random workloads, and random split/merge
+histories, and reports the number of step-property violations (the
+theorem predicts zero). Also times the batch-propagation operation.
+"""
+
+import random
+
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+from repro.core.verification import has_step_property
+
+
+def test_thm21_every_cut_counts(report, benchmark):
+    rng = random.Random(2005)
+    rows = []
+    for width in (4, 8, 16, 32, 64):
+        tree = DecompositionTree(width)
+        static_trials = violations = 0
+        for _ in range(60):
+            net = CutNetwork(Cut.random(tree, rng, 0.5))
+            for _batch in range(3):
+                net.feed_counts([rng.randint(0, 4) for _ in range(width)])
+                static_trials += 1
+                if not has_step_property(net.output_counts):
+                    violations += 1
+        reconfig_trials = reconfig_violations = 0
+        for _ in range(20):
+            net = CutNetwork(Cut.singleton(tree))
+            for _step in range(10):
+                net.feed_counts([rng.randint(0, 3) for _ in range(width)])
+                paths = sorted(net.states)
+                path = paths[rng.randrange(len(paths))]
+                if rng.random() < 0.55 and not net.states[path].spec.is_leaf:
+                    net.split_member(path)
+                elif path:
+                    try:
+                        net.merge_member(path[:-1])
+                    except Exception:
+                        pass
+                reconfig_trials += 1
+                if not has_step_property(net.output_counts):
+                    reconfig_violations += 1
+        rows.append(
+            (width, static_trials, violations, reconfig_trials, reconfig_violations)
+        )
+    report(
+        "Theorem 2.1 - step-property violations over random cuts/workloads",
+        ["w", "static checks", "violations", "reconfig checks", "violations"],
+        rows,
+        notes="The theorem predicts zero violations in every row.",
+    )
+    for _w, _s, violation_count, _r, reconfig_violation_count in rows:
+        assert violation_count == 0
+        assert reconfig_violation_count == 0
+
+    tree = DecompositionTree(32)
+    cut = Cut.random(tree, random.Random(1), 0.5)
+    workload = [3] * 32
+
+    def run_batch():
+        net = CutNetwork(cut)
+        net.feed_counts(workload)
+        return net.output_counts
+
+    benchmark(run_batch)

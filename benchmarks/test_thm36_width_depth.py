@@ -1,0 +1,80 @@
+"""T36 — Theorem 3.6: effective depth O(log^2 N), width Omega(N/log^2 N).
+
+Sweeps the system size, converges the rules, and reports the measured
+effective width/depth against the theorem's scales. Also fits the
+log-log slope of width vs N (the theorem predicts slope ~1 up to
+polylog corrections) as the quantitative shape check.
+"""
+
+import math
+
+from repro.analysis.stats import linear_fit
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def test_thm36_width_and_depth_scaling(report, benchmark):
+    rows = []
+    widths = []
+    sizes = (4, 8, 16, 32, 64, 128)
+    for n in sizes:
+        system = AdaptiveCountingSystem(width=1 << 12, seed=360 + n, initial_nodes=n)
+        system.converge()
+        measured = system.metrics()
+        log_sq = math.log2(max(n, 2)) ** 2
+        rows.append(
+            (
+                n,
+                measured.effective_width,
+                "%.2f" % (n / log_sq),
+                "%.2f" % (measured.effective_width / (n / log_sq)),
+                measured.effective_depth,
+                "%.1f" % log_sq,
+                "%.2f" % (measured.effective_depth / log_sq),
+            )
+        )
+        widths.append(measured.effective_width)
+        # depth never exceeds a small multiple of log^2 N
+        assert measured.effective_depth <= 3 * log_sq + 3
+    report(
+        "Theorem 3.6 - effective width ~ Omega(N/log^2 N), depth ~ O(log^2 N)",
+        [
+            "N",
+            "eff width",
+            "N/log^2 N",
+            "width / (N/log^2 N)",
+            "eff depth",
+            "log^2 N",
+            "depth / log^2 N",
+        ],
+        rows,
+        notes="The width ratio stays bounded away from 0 and the depth ratio stays "
+        "bounded above: both asymptotic shapes of the theorem.",
+    )
+
+    # Quantitative shape: width must grow at least as fast as the
+    # theoretical lower-bound scale N/log^2 N. At these finite sizes the
+    # polylog correction dominates the scale's own local slope (~0.4
+    # over N = 8..128), so we compare the fitted slopes directly.
+    log_n = [math.log2(n) for n in sizes[1:]]
+    log_w = [math.log2(max(w, 1)) for w in widths[1:]]
+    log_scale = [math.log2(n / math.log2(n) ** 2) for n in sizes[1:]]
+    slope, _ = linear_fit(log_n, log_w)
+    scale_slope, _ = linear_fit(log_n, log_scale)
+    report(
+        "Theorem 3.6 - log-log growth of effective width vs N",
+        ["fit", "value"],
+        [
+            ("slope of log2(width) vs log2(N)", "%.2f" % slope),
+            ("slope of log2(N/log^2 N) vs log2(N)", "%.2f" % scale_slope),
+        ],
+        notes="The measured slope must dominate the lower-bound scale's local slope "
+        "(and approaches 1 asymptotically).",
+    )
+    assert scale_slope - 0.1 <= slope <= 1.4
+
+    def converge_and_measure():
+        system = AdaptiveCountingSystem(width=256, seed=361, initial_nodes=16)
+        system.converge()
+        return system.metrics()
+
+    benchmark(converge_and_measure)

@@ -1,0 +1,74 @@
+"""repro — a reproduction of *Adaptive Counting Networks* (Tirthapura, ICDCS 2005).
+
+The package implements the paper's adaptive bitonic counting network and
+every substrate it depends on:
+
+``repro.core``
+    Counting-network theory: balancers, static networks (bitonic,
+    periodic, diffracting tree), the recursive decomposition tree ``T_w``
+    of Section 2, cuts, the single-counter component model, split/merge
+    state transfer, and the effective width/depth metrics of Section 1.4.
+
+``repro.chord``
+    The Chord-style peer-to-peer substrate of Section 1.4/3: random
+    identifiers on the unit ring, successor pointers, finger-table
+    lookups, consistent hashing of component names, and the decentralised
+    size-estimation scheme of Section 3.1.
+
+``repro.sim``
+    A seeded discrete-event message-passing simulator used to execute the
+    distributed protocol.
+
+``repro.runtime``
+    The distributed runtime: component hosting, token routing, the
+    split/merge protocols with token buffering (Section 2.2), the
+    splitting/merging rules (Section 3.2), membership changes and crash
+    recovery (Section 3.4), and input-component lookup (Section 3.5).
+
+``repro.apps``
+    The applications the paper motivates: a distributed counter, a load
+    balancer, and a producer-consumer matcher built from two back-to-back
+    counting networks.
+
+``repro.analysis``
+    Graph metrics (vertex-disjoint paths, longest paths), the paper's
+    analytical predictions (phi, ell-star, depth/width bounds), and
+    statistics helpers for the experiment harness.
+
+Quickstart
+----------
+
+>>> from repro import AdaptiveCountingSystem
+>>> system = AdaptiveCountingSystem(width=16, seed=7)
+>>> for _ in range(10):
+...     system.add_node()
+>>> system.converge()
+>>> values = [system.next_value() for _ in range(20)]
+>>> sorted(values) == list(range(20))
+True
+"""
+
+from repro.core.decomposition import (
+    ComponentKind,
+    ComponentSpec,
+    DecompositionTree,
+)
+from repro.core.cut import Cut, CutNetwork
+from repro.core.wiring import MergerConvention
+from repro.core.verification import has_step_property, check_step_property
+from repro.runtime.system import AdaptiveCountingSystem
+
+__all__ = [
+    "ComponentKind",
+    "ComponentSpec",
+    "DecompositionTree",
+    "Cut",
+    "CutNetwork",
+    "MergerConvention",
+    "has_step_property",
+    "check_step_property",
+    "AdaptiveCountingSystem",
+    "__version__",
+]
+
+__version__ = "1.0.0"

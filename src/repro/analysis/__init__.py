@@ -1,0 +1,13 @@
+"""Analysis helpers: graph metrics, the paper's predictions, statistics."""
+
+from repro.analysis.graphs import max_vertex_disjoint_paths, longest_path_vertices
+from repro.analysis.theory import TheoryModel
+from repro.analysis.stats import summarize, Summary
+
+__all__ = [
+    "max_vertex_disjoint_paths",
+    "longest_path_vertices",
+    "TheoryModel",
+    "summarize",
+    "Summary",
+]

@@ -1,0 +1,93 @@
+"""Text rendering of decomposition trees, cuts and networks.
+
+Regenerates the paper's figures as ASCII: Figure 2's tree-with-cut view
+and Figure 3's component-graph view. Used by the figure benches, the
+CLI and the examples; handy when debugging a cut by eye.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.core.cut import Cut, CutNetwork
+
+Path = Tuple[int, ...]
+
+
+def render_tree(tree, cut: Optional[Cut] = None, max_depth: Optional[int] = None) -> str:
+    """An indented view of ``T_w``; cut members are marked ``<== member``.
+
+    Subtrees below cut members are elided (they do not exist in the
+    deployment), matching how the paper draws its cuts in Figure 2.
+    """
+    members: Set[Path] = set(cut.paths) if cut is not None else set()
+    lines: List[str] = []
+
+    def visit(spec, prefix: str, is_last: bool) -> None:
+        connector = "" if not spec.path else ("`-- " if is_last else "|-- ")
+        marker = "  <== member" if spec.path in members else ""
+        lines.append(prefix + connector + spec.label() + marker)
+        if spec.path in members:
+            return
+        if max_depth is not None and spec.level >= max_depth:
+            if not spec.is_leaf:
+                lines.append(prefix + ("    " if is_last else "|   ") + "...")
+            return
+        children = spec.children() if not spec.is_leaf else []
+        extension = "" if not spec.path else ("    " if is_last else "|   ")
+        for index, child in enumerate(children):
+            visit(child, prefix + extension, index == len(children) - 1)
+
+    visit(tree.root, "", True)
+    return "\n".join(lines)
+
+
+def render_network(network: CutNetwork) -> str:
+    """The component graph of a cut network, layer by layer.
+
+    Components are grouped by their longest-path depth from the input
+    layer (the quantity effective depth maximises), with each member's
+    fan-out listed — an ASCII version of the paper's Figure 3.
+    """
+    graph = network.member_graph()
+    order = network.topological_order()
+    inputs = set(network.input_layer())
+    depth = {}
+    for path in order:
+        base = 1 if path in inputs else 0
+        depth[path] = max(
+            [base]
+            + [depth[p] + 1 for p, succs in graph.items() if path in succs and p in depth]
+        )
+    layers = {}
+    for path, d in depth.items():
+        layers.setdefault(d, []).append(path)
+    lines = []
+    for layer_index in sorted(layers):
+        lines.append("layer %d:" % layer_index)
+        for path in sorted(layers[layer_index]):
+            spec = network.states[path].spec
+            succs = sorted(graph[path])
+            if succs:
+                arrow = " -> " + ", ".join(network.states[s].spec.label() for s in succs)
+            else:
+                arrow = " -> OUTPUT"
+            tags = []
+            if path in inputs:
+                tags.append("in")
+            if network.wiring.is_output_boundary(spec):
+                tags.append("out")
+            tag = (" [" + ",".join(tags) + "]") if tags else ""
+            lines.append("  " + spec.label() + tag + arrow)
+    return "\n".join(lines)
+
+
+def render_step_histogram(counts, width: int = 40) -> str:
+    """A bar chart of per-wire output counts (eyeball the step property)."""
+    peak = max(counts) if counts else 0
+    scale = width / peak if peak else 0
+    lines = []
+    for wire, count in enumerate(counts):
+        bar = "#" * int(round(count * scale))
+        lines.append("wire %3d | %-*s %d" % (wire, width, bar, count))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Statistics helpers for the experiment harness.
+
+Pure-Python summaries (mean, stddev, quantiles, confidence intervals)
+so benches can print compact tables without pulling numpy into the
+library's dependency set (numpy is used in tests to cross-check these).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ReproError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance (zero for fewer than two samples)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (n - 1)
+
+
+def stddev(values: Sequence[float]) -> float:
+    return math.sqrt(variance(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, 0 <= q <= 1."""
+    if not values:
+        raise ReproError("quantile of an empty sequence")
+    if not 0 <= q <= 1:
+        raise ReproError("quantile level must be in [0, 1], got %r" % q)
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def median(values: Sequence[float]) -> float:
+    return quantile(values, 0.5)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A five-number-ish summary of one measured series."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self):
+        return "n=%d mean=%.3f std=%.3f min=%.3f med=%.3f max=%.3f" % (
+            self.n,
+            self.mean,
+            self.std,
+            self.minimum,
+            self.median,
+            self.maximum,
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ReproError("summary of an empty sequence")
+    return Summary(
+        n=len(values),
+        mean=mean(values),
+        std=stddev(values),
+        minimum=float(min(values)),
+        median=median(values),
+        maximum=float(max(values)),
+    )
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of a normal-approximation 95% CI on the mean."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return 1.96 * stddev(values) / math.sqrt(n)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for speedup ratios); requires positive values."""
+    if not values:
+        raise ReproError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple:
+    """Least-squares slope and intercept (for scaling-exponent checks:
+    fit log measured vs log N and inspect the slope)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ReproError("linear fit needs two equal-length series, >= 2 points")
+    mx, my = mean(xs), mean(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        raise ReproError("degenerate x values in linear fit")
+    slope = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+    return slope, my - slope * mx

@@ -1,0 +1,14 @@
+"""Applications built on the adaptive counting network (Section 1.1).
+
+* :mod:`repro.apps.counter` — a scalable distributed counter;
+* :mod:`repro.apps.load_balancer` — spreading jobs over servers through
+  the network's balanced output wires;
+* :mod:`repro.apps.producer_consumer` — matching supply and request
+  tokens with two back-to-back counting networks, as in [AHS94].
+"""
+
+from repro.apps.counter import DistributedCounter
+from repro.apps.load_balancer import LoadBalancer
+from repro.apps.producer_consumer import ProducerConsumerMatcher
+
+__all__ = ["DistributedCounter", "LoadBalancer", "ProducerConsumerMatcher"]

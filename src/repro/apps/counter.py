@@ -1,0 +1,66 @@
+"""A scalable distributed counter (Section 1.1, first application).
+
+"In a large scale distributed system, a counting network can be used to
+generate consecutive token numbers on demand in a parallel and
+distributed manner." The counter wraps a running
+:class:`~repro.runtime.system.AdaptiveCountingSystem`: each ``next()``
+call injects a token; the value the token retires with is the counter
+value. Batched asynchronous use (many outstanding requests) is the mode
+the network is built for — values return out of order but form a
+gap-free range once quiescent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.runtime.system import AdaptiveCountingSystem
+from repro.runtime.tokens import Token
+
+
+class DistributedCounter:
+    """Consecutive token numbers on demand, on top of the network."""
+
+    def __init__(self, system: AdaptiveCountingSystem):
+        self.system = system
+        self._values: List[int] = []
+        self._pending: Dict[int, Token] = {}
+        system.on_retire(self._on_retire)
+
+    def _on_retire(self, token: Token) -> None:
+        if token.token_id in self._pending:
+            del self._pending[token.token_id]
+            self._values.append(token.value)
+
+    # ------------------------------------------------------------------
+    # synchronous API
+    # ------------------------------------------------------------------
+    def next(self) -> int:
+        """Get the next counter value (runs the system to quiescence)."""
+        token = self.system.inject_token()
+        self._pending[token.token_id] = token
+        self.system.run_until_quiescent()
+        if token.value is None:
+            raise ProtocolError("counter token %d lost" % token.token_id)
+        return token.value
+
+    # ------------------------------------------------------------------
+    # asynchronous (batched) API
+    # ------------------------------------------------------------------
+    def request(self, wire: Optional[int] = None) -> Token:
+        """Issue a counter request without waiting; the value appears on
+        the token once it retires."""
+        token = self.system.inject_token(wire)
+        self._pending[token.token_id] = token
+        return token
+
+    def settle(self) -> List[int]:
+        """Run to quiescence and return all values obtained so far."""
+        self.system.run_until_quiescent()
+        return sorted(self._values)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests issued but not yet retired."""
+        return len(self._pending)

@@ -1,0 +1,70 @@
+"""Load balancing through the counting network (Section 1.1).
+
+Jobs are tokens; output wire ``j`` is bound to server ``j mod
+num_servers``. The step property guarantees that in any quiescent state
+the per-wire (hence per-server) job counts differ by at most one —
+balance that holds *regardless of which clients submitted how many
+jobs*, which is the property a hash-based balancer does not give.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.runtime.system import AdaptiveCountingSystem
+from repro.runtime.tokens import Token
+
+
+class LoadBalancer:
+    """Assigns submitted jobs to servers via the network's output wires."""
+
+    def __init__(self, system: AdaptiveCountingSystem, num_servers: Optional[int] = None):
+        if num_servers is None:
+            num_servers = system.width
+        if not 1 <= num_servers <= system.width:
+            raise ProtocolError(
+                "num_servers must be in [1, width=%d], got %d"
+                % (system.width, num_servers)
+            )
+        self.system = system
+        self.num_servers = num_servers
+        self.assignments: Dict[int, int] = {}  # job id -> server
+        self.server_loads: List[int] = [0] * num_servers
+        self._job_names: Dict[int, str] = {}  # token id -> job name
+        self._callbacks: Dict[int, Callable[[str, int], None]] = {}
+        system.on_retire(self._on_retire)
+
+    def _on_retire(self, token: Token) -> None:
+        name = self._job_names.pop(token.token_id, None)
+        if name is None:
+            return  # not one of ours
+        server = token.exit_wire % self.num_servers
+        self.assignments[token.token_id] = server
+        self.server_loads[server] += 1
+        callback = self._callbacks.pop(token.token_id, None)
+        if callback is not None:
+            callback(name, server)
+
+    def submit(
+        self,
+        job_name: str,
+        wire: Optional[int] = None,
+        on_assigned: Optional[Callable[[str, int], None]] = None,
+    ) -> Token:
+        """Submit a job from any client; it will be assigned a server."""
+        token = self.system.inject_token(wire)
+        self._job_names[token.token_id] = job_name
+        if on_assigned is not None:
+            self._callbacks[token.token_id] = on_assigned
+        return token
+
+    def settle(self) -> List[int]:
+        """Run to quiescence; returns per-server loads."""
+        self.system.run_until_quiescent()
+        return list(self.server_loads)
+
+    def imbalance(self) -> int:
+        """Max minus min server load (0 or 1 when ``num_servers`` divides
+        the width and the system is quiescent)."""
+        return max(self.server_loads) - min(self.server_loads)

@@ -1,0 +1,100 @@
+"""Producer-consumer matching with two back-to-back counting networks.
+
+Section 1.1: "consumers may asynchronously generate *request tokens* ...
+producers may asynchronously generate *supply tokens* ... this
+producer-consumer matching problem can be solved by using two back to
+back counting networks, one for producers and the other for consumers."
+
+Supply token number ``i`` (the value the producers' network assigns) is
+matched with request token number ``i`` from the consumers' network: the
+two networks implement a pair of distributed counters, and equal counter
+values rendezvous at a mailbox ``i mod width``. The step property of
+both networks guarantees every request is matched with exactly one
+supply (in order of counter values) no matter how production and
+consumption interleave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.system import AdaptiveCountingSystem
+from repro.runtime.tokens import Token
+
+
+@dataclass(frozen=True)
+class Match:
+    """One supply-request rendezvous."""
+
+    rank: int  # the shared counter value
+    producer: str
+    consumer: str
+
+
+class ProducerConsumerMatcher:
+    """Matches producers' supply with consumers' requests."""
+
+    def __init__(
+        self,
+        supply_system: AdaptiveCountingSystem,
+        request_system: AdaptiveCountingSystem,
+    ):
+        if supply_system is request_system:
+            raise ValueError("supply and request networks must be distinct")
+        self.supply_system = supply_system
+        self.request_system = request_system
+        self._supply_names: Dict[int, str] = {}
+        self._request_names: Dict[int, str] = {}
+        self._waiting_supply: Dict[int, str] = {}  # rank -> producer
+        self._waiting_request: Dict[int, str] = {}  # rank -> consumer
+        self.matches: List[Match] = []
+        supply_system.on_retire(self._supply_retired)
+        request_system.on_retire(self._request_retired)
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _supply_retired(self, token: Token) -> None:
+        name = self._supply_names.pop(token.token_id, None)
+        if name is None:
+            return
+        rank = token.value
+        consumer = self._waiting_request.pop(rank, None)
+        if consumer is None:
+            self._waiting_supply[rank] = name
+        else:
+            self.matches.append(Match(rank, name, consumer))
+
+    def _request_retired(self, token: Token) -> None:
+        name = self._request_names.pop(token.token_id, None)
+        if name is None:
+            return
+        rank = token.value
+        producer = self._waiting_supply.pop(rank, None)
+        if producer is None:
+            self._waiting_request[rank] = name
+        else:
+            self.matches.append(Match(rank, producer, name))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def offer(self, producer: str, wire: Optional[int] = None) -> Token:
+        """A producer announces one unit of supply."""
+        token = self.supply_system.inject_token(wire)
+        self._supply_names[token.token_id] = producer
+        return token
+
+    def request(self, consumer: str, wire: Optional[int] = None) -> Token:
+        """A consumer requests one unit."""
+        token = self.request_system.inject_token(wire)
+        self._request_names[token.token_id] = consumer
+        return token
+
+    def settle(self) -> Tuple[int, int, int]:
+        """Run both systems to quiescence; returns
+        ``(matches, unmatched_supply, unmatched_requests)``."""
+        self.supply_system.run_until_quiescent()
+        self.request_system.run_until_quiescent()
+        return len(self.matches), len(self._waiting_supply), len(self._waiting_request)

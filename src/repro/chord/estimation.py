@@ -1,0 +1,111 @@
+"""Decentralised system-size estimation (Section 3.1 of the paper).
+
+Each node ``v`` estimates the system size ``N`` locally, in two steps:
+
+* **Step 1** — a coarse estimate of ``log N`` from the gap to the next
+  node: ``e_v = log2(1 / d(v, succ_1(v)))``.
+* **Step 2** — walk ``k = 4 * ceil(e_v)`` successors and estimate
+  ``n_v = k / d(v, succ_k(v))``.
+
+Lemma 3.1/3.2: with high probability every node's ``n_v`` lies within
+``[N/10, 10N]``. The node then derives its *level estimate*
+``ell_v`` — the largest level ``k`` of the decomposition tree with
+``phi(k) < n_v`` — which Lemma 3.3 pins to ``[ell* - 4, ell* + 4]``.
+
+The step-count multiplier (the paper's constant 4) is a parameter so the
+ablation experiment can sweep it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.theory import TheoryModel
+from repro.chord.ring import ChordRing
+from repro.errors import RingError
+
+
+@dataclass
+class SizeEstimate:
+    """The intermediate and final quantities of one node's estimate."""
+
+    node_id: int
+    log_estimate: float  # e_v, the step-1 estimate of log2 N
+    steps: int  # k, the number of successors walked in step 2
+    size_estimate: float  # n_v
+
+
+class SizeEstimator:
+    """Runs the paper's two-step estimate against a ring."""
+
+    def __init__(self, ring: ChordRing, step_multiplier: int = 4):
+        if step_multiplier < 1:
+            raise RingError("step multiplier must be >= 1, got %d" % step_multiplier)
+        self.ring = ring
+        self.step_multiplier = step_multiplier
+
+    def estimate(self, node_id: int) -> SizeEstimate:
+        """The estimate ``n_v`` computed by node ``node_id``.
+
+        A node that walks all the way around the ring (fewer nodes than
+        ``k``) simply counts the nodes it saw — it then knows ``N``
+        exactly, which only sharpens the estimate on tiny systems.
+        """
+        ring = self.ring
+        n = len(ring)
+        if n == 0:
+            raise RingError("cannot estimate the size of an empty ring")
+        if n == 1:
+            return SizeEstimate(node_id, 0.0, 0, 1.0)
+        # Step 1: coarse log-size estimate from the successor gap.
+        gap = ring.distance_fraction(node_id, ring.succ_k(node_id, 1).node_id)
+        log_estimate = math.log2(1.0 / gap)
+        # Step 2: walk k successors. Walking k >= n steps would lap the
+        # ring; a real node stops upon seeing itself, knowing N exactly.
+        steps = max(1, self.step_multiplier * math.ceil(log_estimate))
+        if steps >= n:
+            return SizeEstimate(node_id, log_estimate, n - 1, float(n))
+        span = ring.distance_fraction(node_id, ring.succ_k(node_id, steps).node_id)
+        return SizeEstimate(node_id, log_estimate, steps, steps / span)
+
+    def size_estimate(self, node_id: int) -> float:
+        """Just ``n_v``."""
+        return self.estimate(node_id).size_estimate
+
+
+class LevelEstimator:
+    """Derives level estimates ``ell_v`` from size estimates.
+
+    ``ell_v`` is the largest tree level with ``phi(level) < n_v``,
+    clamped to the levels that exist in ``T_w`` (a finite-width artefact
+    the asymptotic paper does not need to handle). By default the
+    bitonic ``phi`` is used; pass any ``tree`` exposing ``phi(level)``
+    and ``max_level`` (e.g. a :class:`repro.ext.recursive.GenericTree`)
+    to drive the rules for another recursive structure.
+    """
+
+    def __init__(
+        self, width: int, ring: ChordRing, step_multiplier: int = 4, tree=None
+    ):
+        self.tree = tree if tree is not None else TheoryModel(width).tree
+        self.sizes = SizeEstimator(ring, step_multiplier)
+
+    def level_for_estimate(self, estimate: float) -> int:
+        """The largest level with ``phi(level) < estimate``."""
+        best = 0
+        for level in range(self.tree.max_level + 1):
+            if self.tree.phi(level) < estimate:
+                best = level
+        return best
+
+    def level_estimate(self, node_id: int) -> int:
+        """The node's ``ell_v``."""
+        return self.level_for_estimate(self.sizes.size_estimate(node_id))
+
+    def ideal_level(self, n: Optional[int] = None) -> int:
+        """``ell*`` for the true system size (or a given ``n``)."""
+        if n is None:
+            n = len(self.sizes.ring)
+        return self.level_for_estimate(float(n))

@@ -1,0 +1,25 @@
+"""Consistent hashing of object names onto the ring.
+
+The paper maps the component named ``b`` to node ``h(b)`` where ``h`` is
+the distributed hash provided by the underlying system: hash the name to
+a ring point and take its successor. We use SHA-1 (Chord's choice)
+truncated to the identifier space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.chord.identifiers import IdentifierSpace
+from repro.chord.ring import ChordNode, ChordRing
+
+
+def name_to_point(name: str, space: IdentifierSpace) -> int:
+    """Deterministically hash a name to a ring point."""
+    digest = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % space.size
+
+
+def home_node(ring: ChordRing, name: str) -> ChordNode:
+    """The live node responsible for ``name``: the successor of its point."""
+    return ring.successor(name_to_point(name, ring.space))

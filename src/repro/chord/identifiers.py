@@ -1,0 +1,58 @@
+"""The Chord identifier space.
+
+The paper works on a ring of circumference 1 with node identifiers drawn
+uniformly at random. We use ``m``-bit integer identifiers (default
+``m = 64``) and expose distances as exact fractions of the circumference
+(converted to float only at the boundary), which keeps all ring
+arithmetic integral and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import RingError
+
+
+@dataclass(frozen=True)
+class IdentifierSpace:
+    """An ``m``-bit circular identifier space."""
+
+    bits: int = 64
+
+    def __post_init__(self):
+        if self.bits < 8:
+            raise RingError("identifier space needs at least 8 bits")
+
+    @property
+    def size(self) -> int:
+        """Number of points on the ring (the circumference, in points)."""
+        return 1 << self.bits
+
+    def check(self, point: int) -> int:
+        if not 0 <= point < self.size:
+            raise RingError("identifier %d outside the %d-bit space" % (point, self.bits))
+        return point
+
+    def random_id(self, rng: random.Random) -> int:
+        """A uniformly random identifier (the paper's random-ids model)."""
+        return rng.getrandbits(self.bits)
+
+    def clockwise_distance(self, start: int, end: int) -> int:
+        """Points traversed moving clockwise from ``start`` to ``end``.
+
+        Zero iff ``start == end``; this is the paper's ``d(u, v)`` scaled
+        by the circumference.
+        """
+        self.check(start)
+        self.check(end)
+        return (end - start) % self.size
+
+    def fraction(self, distance: int) -> float:
+        """A ring distance as a fraction of the unit circumference."""
+        return distance / self.size
+
+    def distance_fraction(self, start: int, end: int) -> float:
+        """``d(u, v)`` on the paper's unit-circumference ring."""
+        return self.fraction(self.clockwise_distance(start, end))

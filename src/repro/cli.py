@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the grow/converge/shrink lifecycle and print what happens.
+``tree``
+    Print the decomposition tree ``T_w`` (optionally with a cut).
+``run``
+    Build a system, converge it, push tokens, print metrics and the
+    output histogram.
+``estimate``
+    Show the Section 3.1 size-estimation accuracy for a given N.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.render import render_network, render_step_histogram, render_tree
+from repro.chord.estimation import SizeEstimator
+from repro.chord.ring import ChordRing
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=64, help="network width (power of two)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def cmd_demo(args) -> int:
+    system = AdaptiveCountingSystem(width=args.width, seed=args.seed)
+    print("start: 1 node, 1 component (the whole BITONIC[%d])" % args.width)
+    for target in (args.nodes // 4 or 2, args.nodes):
+        while system.num_nodes < target:
+            system.add_node()
+        system.converge()
+        metrics = system.metrics()
+        print(
+            "N=%-4d components=%-4d effective width=%-3d depth=%-3d splits=%d merges=%d"
+            % (
+                system.num_nodes,
+                metrics.num_components,
+                metrics.effective_width,
+                metrics.effective_depth,
+                system.stats.splits,
+                system.stats.merges,
+            )
+        )
+    values = [system.next_value() for _ in range(10)]
+    print("ten counter values:", values)
+    while system.num_nodes > 2:
+        system.remove_node()
+    system.converge()
+    print(
+        "shrunk to N=%d: components=%d merges=%d"
+        % (system.num_nodes, len(system.directory), system.stats.merges)
+    )
+    system.verify()
+    print("invariants verified")
+    return 0
+
+
+def cmd_tree(args) -> int:
+    tree = DecompositionTree(args.width)
+    cut = None
+    if args.level is not None:
+        cut = Cut.level(tree, args.level)
+    print(render_tree(tree, cut, max_depth=args.depth))
+    if cut is not None:
+        print()
+        print(render_network(CutNetwork(cut)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = AdaptiveCountingSystem(
+        width=args.width, seed=args.seed, initial_nodes=args.nodes
+    )
+    system.converge()
+    for _ in range(args.tokens):
+        system.inject_token()
+    system.run_until_quiescent()
+    metrics = system.metrics()
+    print(
+        "N=%d components=%d effective width=%d depth=%d"
+        % (system.num_nodes, metrics.num_components, metrics.effective_width, metrics.effective_depth)
+    )
+    print(
+        "tokens=%d mean hops=%.2f mean latency=%.2f messages=%d"
+        % (
+            system.token_stats.retired,
+            system.token_stats.mean_hops,
+            system.token_stats.mean_latency,
+            system.bus.messages_sent,
+        )
+    )
+    print(render_step_histogram(system.output_counts))
+    system.verify()
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    ring = ChordRing(seed=args.seed)
+    for _ in range(args.nodes):
+        ring.join()
+    estimator = SizeEstimator(ring)
+    estimates = [estimator.size_estimate(node.node_id) for node in ring.nodes()]
+    inside = sum(1 for e in estimates if args.nodes / 10 <= e <= 10 * args.nodes)
+    print("N=%d  estimates: min=%.1f max=%.1f" % (args.nodes, min(estimates), max(estimates)))
+    print(
+        "within [N/10, 10N]: %d/%d (%.2f%%)"
+        % (inside, len(estimates), 100.0 * inside / len(estimates))
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Counting Networks (ICDCS 2005) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="grow/converge/shrink lifecycle demo")
+    _add_common(demo)
+    demo.add_argument("--nodes", type=int, default=40, help="nodes to grow to")
+    demo.set_defaults(func=cmd_demo)
+
+    tree = sub.add_parser("tree", help="print the decomposition tree T_w")
+    _add_common(tree)
+    tree.add_argument("--level", type=int, default=None, help="also show the level-k cut")
+    tree.add_argument("--depth", type=int, default=2, help="tree depth to print")
+    tree.set_defaults(func=cmd_tree)
+
+    run = sub.add_parser("run", help="converge a system and push tokens")
+    _add_common(run)
+    run.add_argument("--nodes", type=int, default=30)
+    run.add_argument("--tokens", type=int, default=200)
+    run.set_defaults(func=cmd_run)
+
+    estimate = sub.add_parser("estimate", help="size-estimation accuracy (Section 3.1)")
+    estimate.add_argument("--nodes", type=int, default=256)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.set_defaults(func=cmd_estimate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Counting-network core: structures, components, cuts and metrics.
+
+This subpackage is self-contained (no overlay, no simulator): it models
+the *logical* adaptive bitonic network of Section 2 of the paper. The
+distributed runtime in :mod:`repro.runtime` executes these structures on
+a simulated peer-to-peer system.
+"""
+
+from repro.core.decomposition import ComponentKind, ComponentSpec, DecompositionTree
+from repro.core.wiring import MergerConvention, Wiring
+from repro.core.components import ComponentState
+from repro.core.cut import Cut, CutNetwork
+from repro.core.verification import has_step_property, check_step_property
+
+__all__ = [
+    "ComponentKind",
+    "ComponentSpec",
+    "DecompositionTree",
+    "MergerConvention",
+    "Wiring",
+    "ComponentState",
+    "Cut",
+    "CutNetwork",
+    "has_step_property",
+    "check_step_property",
+]

@@ -1,0 +1,69 @@
+"""The classic balancer-level bitonic counting network [AHS94, Bat68].
+
+An independent construction (it shares no code with the decomposition
+tree of Section 2) used to cross-check that the full-leaf cut of ``T_w``
+is the same network, and as the *static* baseline of Section 2's
+motivating discussion: a ``BITONIC[w]`` deployed one-object-per-balancer
+uses ``w log w (log w + 1) / 4`` balancers regardless of system size.
+
+Recursive structure, in the physical-wire representation of
+:mod:`repro.core.network`:
+
+* ``MERGER[2k]`` on step sequences ``x`` (top) and ``y`` (bottom):
+  sub-merger A merges the even-indexed ``x`` with the odd-indexed ``y``,
+  sub-merger B the rest; a final layer of ``k`` balancers joins output
+  ``i`` of A (top) with output ``i`` of B (bottom), and the network's
+  outputs interleave A and B.
+* ``BITONIC[2k]``: two ``BITONIC[k]`` halves feeding a ``MERGER[2k]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.network import BalancingNetwork, Layer, parallel_layers
+from repro.errors import StructureError
+
+
+def _merger(x: Sequence[int], y: Sequence[int]) -> Tuple[List[Layer], List[int]]:
+    """Layers and output wire order of MERGER over wire lists x, y."""
+    if len(x) != len(y) or not x:
+        raise StructureError("merger halves must be equal-length and non-empty")
+    if len(x) == 1:
+        return [[(x[0], y[0])]], [x[0], y[0]]
+    layers_a, out_a = _merger(list(x[0::2]), list(y[1::2]))
+    layers_b, out_b = _merger(list(x[1::2]), list(y[0::2]))
+    layers = parallel_layers(layers_a, layers_b)
+    final: Layer = [(out_a[i], out_b[i]) for i in range(len(out_a))]
+    layers.append(final)
+    interleaved: List[int] = []
+    for a, b in zip(out_a, out_b):
+        interleaved.extend((a, b))
+    return layers, interleaved
+
+
+def _bitonic(wires: Sequence[int]) -> Tuple[List[Layer], List[int]]:
+    """Layers and output wire order of BITONIC over a wire list."""
+    if len(wires) == 2:
+        return [[(wires[0], wires[1])]], [wires[0], wires[1]]
+    half = len(wires) // 2
+    layers_top, out_top = _bitonic(wires[:half])
+    layers_bottom, out_bottom = _bitonic(wires[half:])
+    layers = parallel_layers(layers_top, layers_bottom)
+    merger_layers, out = _merger(out_top, out_bottom)
+    layers.extend(merger_layers)
+    return layers, out
+
+
+def bitonic_network(width: int) -> BalancingNetwork:
+    """The ``BITONIC[width]`` counting network (width a power of two >= 2)."""
+    if width < 2 or width & (width - 1):
+        raise StructureError("width must be a power of two >= 2, got %d" % width)
+    layers, out = _bitonic(list(range(width)))
+    return BalancingNetwork(width, layers, out)
+
+
+def bitonic_depth(width: int) -> int:
+    """Closed-form depth ``log w (log w + 1) / 2`` of ``BITONIC[w]``."""
+    log_w = width.bit_length() - 1
+    return log_w * (log_w + 1) // 2

@@ -1,0 +1,62 @@
+"""Effective width and effective depth of a cut network (Section 1.4).
+
+Definition 1.1: the *effective width* is the number of vertex-disjoint
+paths from the input-layer components to the output-layer components.
+Definition 1.2: the *effective depth* is the length of the longest path
+from an input-layer component to an output-layer component (we count
+components on the path, which matches the paper's worked example —
+Figure 3's cut has depth 5 — and makes Lemma 2.2's bound
+``(k+1)(k+2)/2`` exact for uniform cuts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.graphs import longest_path_vertices, max_vertex_disjoint_paths
+from repro.core.cut import CutNetwork
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Summary metrics of one cut network."""
+
+    num_components: int
+    effective_width: int
+    effective_depth: int
+
+
+def effective_width(network: CutNetwork) -> int:
+    """Definition 1.1 applied to the live members of ``network``."""
+    graph = network.member_graph()
+    return max_vertex_disjoint_paths(graph, network.input_layer(), network.output_layer())
+
+
+def effective_depth(network: CutNetwork) -> int:
+    """Definition 1.2 applied to the live members of ``network``."""
+    graph = network.member_graph()
+    return longest_path_vertices(graph, network.input_layer(), network.output_layer())
+
+
+def measure(network: CutNetwork) -> NetworkMetrics:
+    """Both metrics plus the component count, sharing one graph build."""
+    graph = network.member_graph()
+    inputs = network.input_layer()
+    outputs = network.output_layer()
+    return NetworkMetrics(
+        num_components=len(graph),
+        effective_width=max_vertex_disjoint_paths(graph, inputs, outputs),
+        effective_depth=longest_path_vertices(graph, inputs, outputs),
+    )
+
+
+def lemma22_bound(max_level: int) -> int:
+    """Lemma 2.2: depth bound ``(k+1)(k+2)/2`` when all leaves are at
+    level at most ``k``."""
+    return (max_level + 1) * (max_level + 2) // 2
+
+
+def lemma23_bound(min_level: int) -> int:
+    """Lemma 2.3: width lower bound ``2**k`` when all leaves are at
+    level at least ``k``."""
+    return 2 ** min_level

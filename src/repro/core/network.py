@@ -1,0 +1,137 @@
+"""Balancer-level balancing networks (Section 1.1).
+
+A *balancer* is an asynchronous toggle with two input and two output
+wires: the i-th token through it leaves on output ``i mod 2``. A
+*balancing network* is an acyclic wiring of balancers. This module
+models such networks in the "physical wire" representation: tokens live
+on named wires, each layer applies disjoint balancers to wire pairs, and
+an output permutation maps wires to network output positions.
+
+The model supports token-level and quiescent batch semantics, and the
+comparator-network view used by the counting <-> sorting correspondence
+of Aspnes-Herlihy-Shavit (a balancing network counts only if replacing
+every balancer by a max-up comparator yields a sorting network).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.components import balanced_counts
+from repro.errors import StructureError
+
+Layer = List[Tuple[int, int]]
+
+
+class BalancingNetwork:
+    """An explicit layered balancing network over ``width`` wires.
+
+    ``layers`` is a list of layers; each layer is a list of
+    ``(top_wire, bottom_wire)`` pairs with all wires in a layer
+    distinct. ``output_order`` lists the wire ids in network-output
+    order (``output_order[j]`` is the wire feeding output ``j``).
+    """
+
+    def __init__(self, width: int, layers: Sequence[Layer], output_order: Sequence[int]):
+        if sorted(output_order) != list(range(width)):
+            raise StructureError("output_order must be a permutation of the wires")
+        for layer in layers:
+            used = [wire for pair in layer for wire in pair]
+            if len(set(used)) != len(used):
+                raise StructureError("a wire appears twice in one layer")
+            if any(not 0 <= wire < width for wire in used):
+                raise StructureError("wire id out of range in layer")
+        self.width = width
+        self.layers = [list(layer) for layer in layers]
+        self.output_order = list(output_order)
+        self._position = {wire: j for j, wire in enumerate(output_order)}
+        # One toggle per balancer: tokens seen so far.
+        self._toggles = [[0] * len(layer) for layer in self.layers]
+        self.output_counts = [0] * width
+
+    @property
+    def depth(self) -> int:
+        """Number of balancer layers."""
+        return len(self.layers)
+
+    @property
+    def num_balancers(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    def reset(self) -> None:
+        """Return every toggle and counter to the initial state."""
+        self._toggles = [[0] * len(layer) for layer in self.layers]
+        self.output_counts = [0] * self.width
+
+    # ------------------------------------------------------------------
+    # batch (quiescent) semantics
+    # ------------------------------------------------------------------
+    def feed_counts(self, input_counts: Sequence[int]) -> List[int]:
+        """Inject ``input_counts[i]`` tokens on input ``i``; returns this
+        batch's per-output counts (cumulative in ``output_counts``)."""
+        if len(input_counts) != self.width:
+            raise StructureError(
+                "expected %d input counts, got %d" % (self.width, len(input_counts))
+            )
+        on_wire = list(input_counts)
+        for layer, toggles in zip(self.layers, self._toggles):
+            for index, (top, bottom) in enumerate(layer):
+                arriving = on_wire[top] + on_wire[bottom]
+                out_top, out_bottom = balanced_counts(toggles[index] % 2, arriving, 2)
+                toggles[index] += arriving
+                on_wire[top], on_wire[bottom] = out_top, out_bottom
+        batch = [on_wire[wire] for wire in self.output_order]
+        for j, count in enumerate(batch):
+            self.output_counts[j] += count
+        return batch
+
+    # ------------------------------------------------------------------
+    # token semantics
+    # ------------------------------------------------------------------
+    def feed_token(self, wire: int) -> int:
+        """Route a single token entering on input ``wire``; returns the
+        network output position it leaves on."""
+        if not 0 <= wire < self.width:
+            raise StructureError("input wire %d out of range" % wire)
+        current = wire
+        for layer, toggles in zip(self.layers, self._toggles):
+            for index, (top, bottom) in enumerate(layer):
+                if current in (top, bottom):
+                    exit_top = toggles[index] % 2 == 0
+                    toggles[index] += 1
+                    current = top if exit_top else bottom
+                    break
+        position = self._position[current]
+        self.output_counts[position] += 1
+        return position
+
+    # ------------------------------------------------------------------
+    # comparator view (counting <-> sorting correspondence)
+    # ------------------------------------------------------------------
+    def sorts_01(self, bits: Sequence[int]) -> bool:
+        """Whether the max-up comparator isomorph sorts this 0/1 input
+        into non-increasing order (1s at smaller output positions)."""
+        if len(bits) != self.width:
+            raise StructureError("expected %d bits" % self.width)
+        on_wire = list(bits)
+        for layer in self.layers:
+            for top, bottom in layer:
+                hi = max(on_wire[top], on_wire[bottom])
+                lo = min(on_wire[top], on_wire[bottom])
+                on_wire[top], on_wire[bottom] = hi, lo
+        out = [on_wire[wire] for wire in self.output_order]
+        return all(out[i] >= out[i + 1] for i in range(len(out) - 1))
+
+
+def parallel_layers(first: List[Layer], second: List[Layer]) -> List[Layer]:
+    """Run two disjoint sub-networks side by side, padding the shorter."""
+    depth = max(len(first), len(second))
+    merged: List[Layer] = []
+    for i in range(depth):
+        layer: Layer = []
+        if i < len(first):
+            layer.extend(first[i])
+        if i < len(second):
+            layer.extend(second[i])
+        merged.append(layer)
+    return merged

@@ -1,0 +1,77 @@
+"""Step-property and counting checks (Section 1.1).
+
+A balancing network of width ``w`` is a *counting network* if in every
+quiescent state the per-output-wire token counts ``x_0 .. x_{w-1}``
+satisfy ``0 <= x_i - x_j <= 1`` for all ``i < j``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import StepPropertyViolation
+
+
+def step_violation(counts: Sequence[int]) -> Optional[Tuple[int, int]]:
+    """First pair ``(i, j)`` violating the step property, or ``None``.
+
+    The step property is equivalent to: the sequence is non-increasing
+    and ``max - min <= 1``. We scan pairs of adjacent indices plus the
+    global spread, reporting the earliest violating pair for diagnostics.
+    """
+    n = len(counts)
+    for i in range(n - 1):
+        if counts[i] < counts[i + 1]:
+            return (i, i + 1)
+    if n and counts[0] - counts[n - 1] > 1:
+        # Non-increasing but spread > 1: find the first index where the
+        # value drops below counts[0] - 1.
+        for j in range(1, n):
+            if counts[0] - counts[j] > 1:
+                return (0, j)
+    return None
+
+
+def has_step_property(counts: Sequence[int]) -> bool:
+    """Whether the output counts satisfy the step property."""
+    return step_violation(counts) is None
+
+
+def check_step_property(counts: Sequence[int]) -> None:
+    """Raise :class:`StepPropertyViolation` if the property fails."""
+    violation = step_violation(counts)
+    if violation is not None:
+        raise StepPropertyViolation(counts, *violation)
+
+
+def step_sequence(total: int, width: int) -> List[int]:
+    """The unique step sequence of ``width`` wires summing to ``total``."""
+    base, rem = divmod(total, width)
+    return [base + (1 if i < rem else 0) for i in range(width)]
+
+
+def is_sorted_01(bits: Sequence[int]) -> bool:
+    """Whether a 0/1 sequence is sorted in non-increasing order (1s first).
+
+    Used by the counting-network <-> sorting-network correspondence test:
+    a balancing network counts only if the isomorphic comparator network
+    sorts, and by the 0-1 principle a comparator network sorts iff it
+    sorts every 0/1 input.
+    """
+    seen_zero = False
+    for bit in bits:
+        if bit == 0:
+            seen_zero = True
+        elif seen_zero:
+            return False
+    return True
+
+
+def counting_values_ok(values: Sequence[int]) -> bool:
+    """Whether a set of counter values is exactly ``{0, 1, ..., n-1}``.
+
+    The end-to-end correctness condition for a distributed counter built
+    on a counting network: after all tokens retire, the multiset of
+    returned values is a gap-free, duplicate-free prefix of the naturals.
+    """
+    return sorted(values) == list(range(len(values)))

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's core construction.
+
+The paper closes its abstract with: *"our technique could be applied to
+build an adaptive implementation of any distributed data structure
+which can be decomposed in a recursive way."* This subpackage takes
+that claim seriously:
+
+* :mod:`repro.ext.recursive` — a generic recursive-decomposition
+  framework: declare a structure's component kinds, children and local
+  wiring, and get trees, cuts, counter-component networks, split/merge
+  state transfer and effective metrics for free (the same machinery the
+  bitonic core uses);
+* :mod:`repro.ext.periodic_adaptive` — the framework instantiated for
+  the *periodic* counting network; every cut of it counted in our
+  (exhaustive-at-small-width) experiments, empirically extending
+  Theorem 2.1 beyond the bitonic case.
+"""
+
+from repro.ext.recursive import GenericSpec, GenericTree, RecursiveStructure
+from repro.ext.periodic_adaptive import (
+    PeriodicStructure,
+    PeriodicWiring,
+    periodic_tree,
+)
+
+__all__ = [
+    "GenericSpec",
+    "GenericTree",
+    "RecursiveStructure",
+    "PeriodicStructure",
+    "PeriodicWiring",
+    "periodic_tree",
+]

@@ -1,0 +1,15 @@
+"""The distributed runtime of the adaptive counting network.
+
+See :class:`repro.runtime.system.AdaptiveCountingSystem` for the
+entry point tying together hosting (:mod:`repro.runtime.host`),
+placement (:mod:`repro.runtime.directory`), reconfiguration
+(:mod:`repro.runtime.reconfig`), the decentralised rules
+(:mod:`repro.runtime.rules`), membership (:mod:`repro.runtime.membership`),
+crash recovery (:mod:`repro.runtime.stabilization`) and client lookup
+(:mod:`repro.runtime.lookup`).
+"""
+
+from repro.runtime.system import AdaptiveCountingSystem, SystemStats
+from repro.runtime.tokens import Token, TokenStats
+
+__all__ = ["AdaptiveCountingSystem", "SystemStats", "Token", "TokenStats"]

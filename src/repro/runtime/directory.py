@@ -1,0 +1,112 @@
+"""The live-component directory: which cut is deployed, and where.
+
+In the real system this state is implicit in the DHT (a component named
+``b`` lives at node ``h(b)``, and it exists iff someone installed it).
+The simulation keeps it explicit: a map from live component paths to
+hosting node ids, kept in sync with the hash function as membership
+changes. The directory is also where the component *naming* of
+Section 2.1 is applied: the hash key of a component is its pre-order
+index in ``T_w``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.chord.hashing import name_to_point
+from repro.chord.ring import ChordRing
+from repro.core.cut import Cut
+from repro.core.decomposition import ComponentSpec, DecompositionTree
+from repro.errors import ComponentNotFound, ProtocolError
+
+Path = Tuple[int, ...]
+
+
+class ComponentDirectory:
+    """Tracks the deployed cut and the home node of every component."""
+
+    def __init__(self, tree: DecompositionTree, ring: ChordRing):
+        self.tree = tree
+        self.ring = ring
+        self._owner: Dict[Path, int] = {}
+
+    # ------------------------------------------------------------------
+    # naming and placement
+    # ------------------------------------------------------------------
+    def component_name(self, path: Path) -> str:
+        """The paper's name: the pre-order index of the component,
+        scoped by the network width so distinct networks don't collide."""
+        spec = self.tree.node(tuple(path))
+        return "cn/%d/%d" % (self.tree.width, self.tree.preorder_index(spec))
+
+    def hash_point(self, path: Path) -> int:
+        return name_to_point(self.component_name(path), self.ring.space)
+
+    def home(self, path: Path) -> int:
+        """The node id that should host ``path`` under the current ring."""
+        return self.ring.successor(self.hash_point(path)).node_id
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, path: Path, node_id: int) -> None:
+        self._owner[tuple(path)] = node_id
+
+    def unregister(self, path: Path) -> None:
+        self._owner.pop(tuple(path), None)
+
+    def owner(self, path: Path) -> int:
+        try:
+            return self._owner[tuple(path)]
+        except KeyError:
+            raise ComponentNotFound("no live component at path %r" % (path,)) from None
+
+    def is_live(self, path: Path) -> bool:
+        return tuple(path) in self._owner
+
+    def live_paths(self) -> FrozenSet[Path]:
+        return frozenset(self._owner)
+
+    def paths_on(self, node_id: int) -> List[Path]:
+        return sorted(p for p, owner in self._owner.items() if owner == node_id)
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def spec(self, path: Path) -> ComponentSpec:
+        return self.tree.node(tuple(path))
+
+    def covering_member(self, path: Path) -> Optional[Path]:
+        """The live member whose subtree contains ``path`` (an ancestor
+        or the path itself), if any."""
+        path = tuple(path)
+        for end in range(len(path), -1, -1):
+            if path[:end] in self._owner:
+                return path[:end]
+        return None
+
+    def live_descendants(self, path: Path) -> List[Path]:
+        """Live members strictly below ``path``."""
+        path = tuple(path)
+        return sorted(
+            p for p in self._owner if len(p) > len(path) and p[: len(path)] == path
+        )
+
+    def as_cut(self) -> Cut:
+        """The deployed cut; raises if the directory is inconsistent."""
+        return Cut(self.tree, self._owner.keys())
+
+    def check_consistent(self) -> None:
+        """Directory invariant: the live paths form a valid cut and every
+        component sits at its hash home."""
+        self.as_cut()
+        for path, node_id in self._owner.items():
+            expected = self.home(path)
+            if expected != node_id:
+                raise ProtocolError(
+                    "component %r hosted at %#x but its home is %#x"
+                    % (path, node_id, expected)
+                )

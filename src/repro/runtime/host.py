@@ -1,0 +1,146 @@
+"""Per-node hosting of components and the token data plane.
+
+A :class:`NodeHost` is the process running on one physical node. It
+holds the components hashed to the node, routes arriving tokens through
+them, buffers tokens for components that are frozen mid-reconfiguration
+(Section 2.2's "temporarily stop routing"), and keeps the node-local
+state the splitting/merging rules need: the node's last level estimate
+and the list of components it has split but not yet merged
+(Section 3.2).
+
+Out-neighbour addresses are cached per (component, output port) as
+Section 3.5 prescribes; the system invalidates caches when the network
+is reconfigured and the hit/miss counters feed the routing-efficiency
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.chord.ring import ChordNode
+from repro.core.components import ComponentState
+from repro.errors import ProtocolError
+from repro.runtime.tokens import Token, TokenMsg
+from repro.sim.node import SimulatedProcess
+
+Path = Tuple[int, ...]
+
+
+class NodeHost(SimulatedProcess):
+    """The runtime process of one physical node."""
+
+    def __init__(self, node: ChordNode, system):
+        self.node = node
+        self.system = system
+        self.components: Dict[Path, ComponentState] = {}
+        self.frozen: Set[Path] = set()
+        self.buffers: Dict[Path, List[Tuple[int, Token]]] = {}
+        #: Components this node split and has not merged back yet
+        #: (Section 3.2's merge rule scans this list).
+        self.split_registry: Set[Path] = set()
+        #: The node's last computed level estimate, to detect decreases.
+        self.last_level: Optional[int] = None
+        self._edge_cache: Dict[Tuple[Path, int], Tuple] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.tokens_routed = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    # ------------------------------------------------------------------
+    # component management (called by the reconfiguration layer)
+    # ------------------------------------------------------------------
+    def install(self, state: ComponentState, frozen: bool = False) -> None:
+        path = state.spec.path
+        if path in self.components:
+            raise ProtocolError("component %r already on node %s" % (path, self.node.name))
+        self.components[path] = state
+        if frozen:
+            self.frozen.add(path)
+
+    def remove(self, path: Path) -> ComponentState:
+        try:
+            state = self.components.pop(path)
+        except KeyError:
+            raise ProtocolError(
+                "component %r not on node %s" % (path, self.node.name)
+            ) from None
+        self.frozen.discard(path)
+        return state
+
+    def freeze(self, path: Path) -> None:
+        if path not in self.components:
+            raise ProtocolError("cannot freeze %r: not hosted here" % (path,))
+        self.frozen.add(path)
+
+    def unfreeze(self, path: Path) -> None:
+        self.frozen.discard(path)
+
+    def drain_buffer(self, path: Path) -> List[Tuple[int, Token]]:
+        """Take (and clear) the tokens buffered for a frozen component."""
+        return self.buffers.pop(path, [])
+
+    def clear_edge_cache(self) -> None:
+        self._edge_cache.clear()
+
+    # ------------------------------------------------------------------
+    # token plane
+    # ------------------------------------------------------------------
+    def handle_message(self, message) -> None:
+        from repro.runtime.combining import BatchTokenMsg
+
+        if isinstance(message, TokenMsg):
+            self._handle_tokens(message.path, [(message.port, message.token)])
+        elif isinstance(message, BatchTokenMsg):
+            self._handle_tokens(message.path, list(message.items))
+        else:  # pragma: no cover - no other message kinds today
+            raise ProtocolError("unknown message %r" % (message,))
+
+    def _handle_tokens(self, path: Path, items: List[Tuple[int, Token]]) -> None:
+        system = self.system
+        for _ in items:
+            system.note_token_arrived(path)
+        if path in self.frozen:
+            self.buffers.setdefault(path, []).extend(items)
+            return
+        state = self.components.get(path)
+        if state is None:
+            for port, token in items:
+                system.reroute_token(path, port, token)
+            return
+        for port, token in items:
+            out_port = state.route_token(port)
+            self.tokens_routed += 1
+            dest = self._edge(path, state, out_port)
+            if dest[0] == "out":
+                system.retire_token(token, state, out_port, dest[1])
+            else:
+                # "member" and "missing" both address a path; for a
+                # crash hole, send_token's reroute machinery retries
+                # until stabilisation restores it.
+                _, dest_path, dest_port = dest
+                system.send_token(dest_path, dest_port, token)
+
+    def _edge(self, path: Path, state: ComponentState, out_port: int) -> Tuple:
+        key = (path, out_port)
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        resolved = self.system.resolve_edge(state.spec, out_port)
+        if resolved[0] != "missing":  # never cache a crash hole
+            self._edge_cache[key] = resolved
+        return resolved
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def component_count(self) -> int:
+        return len(self.components)
+
+    def levels_hosted(self) -> List[int]:
+        return sorted(len(path) for path in self.components)

@@ -1,0 +1,80 @@
+"""Finding an input component (Section 3.5).
+
+A client that wants to inject a token on network input wire ``i`` picks
+the input balancer leaf that would own the wire in the fully-split
+network and walks up the ancestor chain — at most ``log w - 1`` names —
+until a name resolves to a live component. Each name resolution is a
+DHT lookup, whose hop count we also report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.chord.fingers import lookup as chord_lookup
+from repro.errors import ComponentNotFound
+
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one input-component lookup."""
+
+    path: Path
+    port: int
+    tries: int  # names tried (paper bound: log w - 1)
+    dht_hops: int  # total Chord routing hops over all tries
+
+
+class InputLookup:
+    """Client-side lookup against the live directory."""
+
+    def __init__(self, system):
+        self.system = system
+
+    def _input_leaf(self, wire: int):
+        """The leaf that would accept network input ``wire`` in the
+        fully-split network — the name a client starts from. Computed by
+        descending the input wiring, which works for any recursive
+        structure."""
+        system = self.system
+        spec = system.tree.root
+        port = wire
+        while not spec.is_leaf:
+            ref = system.wiring.parent_input_dest(spec, port)
+            spec = spec.child(ref.child)
+            port = ref.port
+        return spec
+
+    def find(self, wire: int, start_node_id: int = None) -> LookupResult:
+        """Locate the live component accepting network input ``wire``."""
+        system = self.system
+        tree = system.tree
+        spec = self._input_leaf(wire)
+        tries = 0
+        hops = 0
+        while True:
+            tries += 1
+            if start_node_id is not None and len(system.ring) > 0:
+                _owner, step_hops = chord_lookup(
+                    system.ring, start_node_id, system.directory.hash_point(spec.path)
+                )
+                hops += step_hops
+            if system.directory.is_live(spec.path):
+                break
+            parent = tree.parent(spec)
+            if parent is None:
+                raise ComponentNotFound(
+                    "no live component on the ancestor chain of wire %d" % wire
+                )
+            spec = parent
+        member, port = system.wiring.resolve_network_input(
+            wire, system.directory.live_paths()
+        )
+        if member.path != spec.path:
+            raise ComponentNotFound(
+                "directory changed during lookup of wire %d" % wire
+            )
+        return LookupResult(member.path, port, tries, hops)

@@ -1,0 +1,151 @@
+"""Node joins and leaves (Section 3.4).
+
+* **Join** — the counting network itself needs no change; only the
+  consistent-hash placement shifts: components whose hash point now
+  falls on the new node are handed over. (If the system has grown
+  enough, the rules engine will later split components — that is a
+  separate, rule-driven action.)
+* **Graceful leave** — before leaving, the node moves every component it
+  hosts to the component's new home (its ring successor), and hands its
+  split registry to the successor, which takes over the responsibility
+  of merging what the departed node split.
+* **Crash** — handled by :mod:`repro.runtime.stabilization`; this module
+  only removes the node and reports what was lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chord.ring import ChordNode
+from repro.errors import MembershipError
+from repro.runtime.host import NodeHost
+
+Path = Tuple[int, ...]
+
+
+@dataclass
+class CrashReport:
+    """What a crash destroyed or disturbed, for the recovery experiment.
+
+    ``disturbed_tokens`` counts tokens that were in flight toward the
+    lost components at crash time: they are *not* lost (they retry and
+    retire), but state reconstruction — which works from in-neighbour
+    emission counts — necessarily treats them as already processed, so
+    each one can displace one output slot. The self-stabilisation
+    guarantee is therefore: residual output imbalance <= lost +
+    disturbed (+1).
+    """
+
+    node_id: int
+    lost_components: List[Path] = field(default_factory=list)
+    lost_buffered_tokens: int = 0
+    lost_registry_entries: List[Path] = field(default_factory=list)
+    disturbed_tokens: int = 0
+
+
+class MembershipManager:
+    """Ring membership changes wired to the hosting layer."""
+
+    def __init__(self, system):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # join
+    # ------------------------------------------------------------------
+    def join(self, name: Optional[str] = None) -> ChordNode:
+        system = self.system
+        node = system.ring.join(name)
+        host = NodeHost(node, system)
+        system.hosts[node.node_id] = host
+        system.bus.register(node.node_id, host)
+        self._rehome_components()
+        return node
+
+    def _rehome_components(self) -> None:
+        """Move every component whose hash home changed (O(#components))."""
+        system = self.system
+        moves = []
+        for path in system.directory.live_paths():
+            home = system.directory.home(path)
+            if home != system.directory.owner(path):
+                moves.append((path, home))
+        for path, home in moves:
+            old_host = system.hosts[system.directory.owner(path)]
+            was_frozen = path in old_host.frozen
+            buffered = old_host.drain_buffer(path)
+            state = old_host.remove(path)
+            new_host = system.hosts[home]
+            new_host.install(state, frozen=was_frozen)
+            if buffered:
+                new_host.buffers[path] = buffered
+            system.directory.register(path, home)
+            system.stats.control_messages += 2  # state transfer + ack
+        if moves:
+            system.advance(2 * system.control_latency)
+            system.invalidate_caches()
+            system.stats.handoffs += len(moves)
+
+    # ------------------------------------------------------------------
+    # graceful leave
+    # ------------------------------------------------------------------
+    def leave(self, node_id: int) -> None:
+        system = self.system
+        if node_id not in system.hosts:
+            raise MembershipError("no such node %#x" % node_id)
+        if len(system.ring) == 1:
+            raise MembershipError("cannot remove the last node")
+        host = system.hosts[node_id]
+        successor = system.ring.succ_k(node_id, 1)
+        system.ring.remove(node_id)
+        # Hand split-registry duty to the successor (Section 3.4).
+        successor_host = system.hosts[successor.node_id]
+        successor_host.split_registry.update(host.split_registry)
+        if host.split_registry:
+            system.stats.control_messages += 1
+        # Move hosted components to their new homes (the successor, by
+        # consistent hashing — recomputed per component for exactness).
+        for path in list(host.components):
+            was_frozen = path in host.frozen
+            buffered = host.drain_buffer(path)
+            state = host.remove(path)
+            home = system.directory.home(path)
+            new_host = system.hosts[home]
+            new_host.install(state, frozen=was_frozen)
+            if buffered:
+                new_host.buffers[path] = buffered
+            system.directory.register(path, home)
+            system.stats.control_messages += 2
+            system.stats.handoffs += 1
+        system.bus.unregister(node_id)
+        del system.hosts[node_id]
+        system.advance(2 * system.control_latency)
+        system.invalidate_caches()
+
+    # ------------------------------------------------------------------
+    # crash
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> CrashReport:
+        system = self.system
+        if node_id not in system.hosts:
+            raise MembershipError("no such node %#x" % node_id)
+        if len(system.ring) == 1:
+            raise MembershipError("cannot crash the last node")
+        host = system.hosts[node_id]
+        report = CrashReport(node_id)
+        report.lost_components = sorted(host.components)
+        report.lost_buffered_tokens = sum(len(b) for b in host.buffers.values())
+        report.lost_registry_entries = sorted(host.split_registry)
+        report.disturbed_tokens = sum(
+            system._inflight.get(path, 0) for path in report.lost_components
+        )
+        system.stats.disturbed_tokens += report.disturbed_tokens
+        system.ring.remove(node_id)
+        system.bus.unregister(node_id)
+        for path in report.lost_components:
+            system.directory.unregister(path)
+        del system.hosts[node_id]
+        system.invalidate_caches()
+        system.stats.crashes += 1
+        return report

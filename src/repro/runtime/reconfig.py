@@ -1,0 +1,200 @@
+"""The split and merge protocols of Section 2.2, over the simulator.
+
+Splitting component ``c`` (initiated by its host ``v``):
+
+1. ``v`` freezes ``c`` — arriving tokens are buffered;
+2. the child components are created with the exact state transfer of
+   :mod:`repro.core.splitmerge` and installed at their hash homes
+   (one install + ack round trip per child, modelled as control latency
+   and message counts);
+3. ``c`` is removed, the split is recorded in ``v``'s split registry,
+   and the buffered tokens are forwarded to the children through the
+   local input wiring.
+
+Merging ``c``'s subtree (initiated by the node that split ``c``):
+
+1. every live member of the subtree that receives tokens from *outside*
+   the subtree (the input boundary — exactly the members whose path
+   below ``c`` uses only top/bottom child indices) is frozen;
+2. the subtree drains: the protocol waits until no token is in flight
+   toward a subtree member, so the subtree is internally quiescent
+   (a refinement of the paper's sketch, which buffers at every member;
+   draining keeps the merged state exact — see DESIGN.md);
+3. live descendant states are collected and folded bottom-up with
+   :func:`repro.core.splitmerge.merge_child_states` (the paper's
+   recursive merge), the merged component is installed at ``h(c)``, the
+   children are removed, and buffered boundary tokens are re-addressed
+   to ``c``'s input ports and forwarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.components import ComponentState
+from repro.core.decomposition import ComponentSpec
+from repro.core.splitmerge import merge_child_states, split_child_states
+from repro.errors import ComponentNotFound, ProtocolError
+from repro.runtime.host import NodeHost
+
+Path = Tuple[int, ...]
+
+
+class Reconfigurator:
+    """Executes split/merge protocols against the running system."""
+
+    def __init__(self, system):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # split
+    # ------------------------------------------------------------------
+    def split(self, path: Path) -> List[Path]:
+        """Split the live component at ``path``; returns the child paths."""
+        system = self.system
+        path = tuple(path)
+        owner = system.directory.owner(path)
+        host: NodeHost = system.hosts[owner]
+        state = host.components.get(path)
+        if state is None:
+            raise ProtocolError("directory says %r is on %s, but it is not" % (path, owner))
+        if state.spec.is_leaf:
+            raise ProtocolError("cannot split the balancer %s" % (state.spec,))
+        host.freeze(path)
+        children = split_child_states(system.wiring, state.spec, state.arrivals)
+        # One install + ack round trip per child, concurrently.
+        system.stats.control_messages += 2 * len(children)
+        system.advance(2 * system.control_latency)
+        new_paths: List[Path] = []
+        for child_state in children:
+            child_path = child_state.spec.path
+            home = system.directory.home(child_path)
+            system.hosts[home].install(child_state)
+            system.directory.register(child_path, home)
+            new_paths.append(child_path)
+        host.remove(path)
+        system.directory.unregister(path)
+        host.split_registry.add(path)
+        system.stats.splits += 1
+        system.invalidate_caches()
+        # Forward the tokens buffered while frozen into the children.
+        spec = state.spec
+        for port, token in host.drain_buffer(path):
+            ref = system.wiring.parent_input_dest(spec, port)
+            system.send_token(spec.child(ref.child).path, ref.port, token)
+        return new_paths
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def _input_fed_children(self, parent) -> frozenset:
+        """Child indices that receive some of the parent's own inputs."""
+        cache = getattr(self, "_input_fed_cache", None)
+        if cache is None:
+            cache = self._input_fed_cache = {}
+        key = (parent.kind, parent.width)
+        fed = cache.get(key)
+        if fed is None:
+            wiring = self.system.wiring
+            fed = frozenset(
+                wiring.parent_input_dest(parent, port).child
+                for port in range(parent.width)
+            )
+            cache[key] = fed
+        return fed
+
+    def input_boundary(self, path: Path, subtree: List[Path]) -> List[Path]:
+        """The subtree members that receive tokens from outside it.
+
+        A member is externally fed iff every step of its path below
+        ``path`` descends into an input-fed child of its parent (for the
+        bitonic tree these are exactly the top/bottom indices 0 and 1;
+        the predicate is computed from the wiring so the merge protocol
+        works for any recursive structure).
+        """
+        depth = len(path)
+        tree = self.system.tree
+        boundary = []
+        for member in subtree:
+            spec = tree.node(path)
+            fed = True
+            for index in member[depth:]:
+                if index not in self._input_fed_children(spec):
+                    fed = False
+                    break
+                spec = spec.child(index)
+            if fed:
+                boundary.append(member)
+        return boundary
+
+    def merge(self, path: Path, initiator: NodeHost) -> Path:
+        """Merge the live subtree below ``path`` back into one component."""
+        system = self.system
+        path = tuple(path)
+        if system.directory.is_live(path):
+            initiator.split_registry.discard(path)
+            return path
+        subtree = system.directory.live_descendants(path)
+        if not subtree:
+            raise ComponentNotFound("nothing to merge at %r" % (path,))
+        # Phase 1: freeze the input boundary (one message per member).
+        boundary = self.input_boundary(path, subtree)
+        system.stats.control_messages += len(boundary)
+        for member in boundary:
+            system.hosts[system.directory.owner(member)].freeze(member)
+        system.advance(system.control_latency)
+        # Phase 2: drain in-flight tokens headed into the subtree.
+        system.drain_paths(set(subtree))
+        # Phase 3: collect states, fold bottom-up, install the parent.
+        system.stats.control_messages += 2 * len(subtree)
+        buffered: List[Tuple[Path, int, object]] = []
+        states: Dict[Path, ComponentState] = {}
+        for member in subtree:
+            owner_host = system.hosts[system.directory.owner(member)]
+            for port, token in owner_host.drain_buffer(member):
+                buffered.append((member, port, token))
+            states[member] = owner_host.remove(member)
+            system.directory.unregister(member)
+            # Any sub-split bookkeeping inside the subtree is now moot.
+            for host in system.hosts.values():
+                host.split_registry.discard(member)
+        merged = self._fold(system.tree.node(path), states)
+        system.advance(2 * system.control_latency)
+        home = system.directory.home(path)
+        system.hosts[home].install(merged)
+        system.directory.register(path, home)
+        initiator.split_registry.discard(path)
+        for host in system.hosts.values():
+            host.split_registry.discard(path)
+        system.stats.merges += 1
+        system.invalidate_caches()
+        # Phase 4: re-address buffered boundary tokens to the parent.
+        for member, port, token in buffered:
+            parent_port = self._port_at_ancestor(member, port, path)
+            system.send_token(path, parent_port, token)
+        return path
+
+    def _fold(
+        self, spec: ComponentSpec, states: Dict[Path, ComponentState]
+    ) -> ComponentState:
+        """Recursively merge collected states up to ``spec``."""
+        if spec.path in states:
+            return states[spec.path]
+        child_states = [self._fold(child, states) for child in spec.children()]
+        return merge_child_states(self.system.wiring, spec, child_states)
+
+    def _port_at_ancestor(self, member: Path, port: int, ancestor: Path) -> int:
+        """Map an externally-fed member's input port up to the ancestor's."""
+        system = self.system
+        spec = system.tree.node(member)
+        current_port = port
+        while spec.path != ancestor:
+            parent = system.tree.parent(spec)
+            source = system.wiring.parent_input_source(parent, spec.path[-1], current_port)
+            if source is None:
+                raise ProtocolError(
+                    "buffered token at %r port %d is not externally fed"
+                    % (member, port)
+                )
+            spec, current_port = parent, source
+        return current_port

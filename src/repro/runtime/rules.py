@@ -1,0 +1,77 @@
+"""The decentralised splitting/merging rules of Section 3.2.
+
+Each node ``v`` maintains the local invariant: *every component residing
+on ``v`` is at level >= ell_v* (its level estimate).
+
+* **Splitting rule** — split every hosted component whose level is below
+  ``ell_v`` (recursively: freshly created children may hash back to
+  ``v`` and still violate the invariant).
+* **Merging rule** — ``v`` reconsiders its past splits: for every entry
+  ``c`` in its split registry, if ``level(c) >= ell_v`` the split is no
+  longer required and ``v`` initiates the merge of ``c``. The paper
+  triggers this check when ``ell_v`` decreases; we additionally run it
+  on every evaluation (the check is local and free, and registry entries
+  inherited from departed nodes would otherwise linger), and the
+  ``hysteresis`` parameter widens the merge threshold for the ablation
+  experiment (merge only when ``level(c) >= ell_v + hysteresis``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.chord.estimation import LevelEstimator
+from repro.errors import ComponentNotFound
+from repro.runtime.host import NodeHost
+
+
+class RulesEngine:
+    """Evaluates the Section 3.2 rules for one node at a time."""
+
+    def __init__(self, system, hysteresis: int = 0):
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be nonnegative")
+        self.system = system
+        self.hysteresis = hysteresis
+
+    def node_level(self, host: NodeHost) -> int:
+        """The node's current level estimate ``ell_v`` (Section 3.1)."""
+        estimator = LevelEstimator(
+            self.system.width,
+            self.system.ring,
+            self.system.step_multiplier,
+            tree=self.system.tree,
+        )
+        return estimator.level_estimate(host.node_id)
+
+    def evaluate(self, host: NodeHost) -> int:
+        """Apply both rules at ``host``; returns the number of actions."""
+        level = self.node_level(host)
+        host.last_level = level
+        actions = 0
+        # Splitting rule: enforce the invariant, recursively.
+        progressed = True
+        while progressed:
+            progressed = False
+            for path in sorted(host.components):
+                state = host.components[path]
+                if (
+                    len(path) < level
+                    and not state.spec.is_leaf
+                    and path not in host.frozen
+                ):
+                    self.system.reconfig.split(path)
+                    actions += 1
+                    progressed = True
+                    break  # the component map changed; rescan
+        # Merging rule: reconsider earlier splits.
+        for path in sorted(host.split_registry, key=len, reverse=True):
+            if len(path) >= level + self.hysteresis:
+                try:
+                    self.system.reconfig.merge(path, host)
+                    actions += 1
+                except ComponentNotFound:
+                    # The subtree vanished (e.g. merged away by a wider
+                    # merge); drop the stale registry entry.
+                    host.split_registry.discard(path)
+        return actions

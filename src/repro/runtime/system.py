@@ -1,0 +1,467 @@
+"""The adaptive counting network system — the paper's artefact, runnable.
+
+:class:`AdaptiveCountingSystem` wires every substrate together: the
+decomposition tree and component wiring (Section 2), the Chord ring with
+consistent hashing and size estimation (Sections 1.4/3.1), the
+discrete-event message bus, the per-node hosts, the split/merge
+protocols (Section 2.2), the decentralised rules (Section 3.2),
+membership changes and crash recovery (Section 3.4), and client-side
+input lookup (Section 3.5).
+
+Typical use::
+
+    system = AdaptiveCountingSystem(width=64, seed=1)
+    for _ in range(50):
+        system.add_node()
+    system.converge()                  # rules split components
+    values = [system.next_value() for _ in range(100)]
+    assert sorted(values) == list(range(100))
+    print(system.metrics())            # effective width/depth
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.chord.ring import ChordNode, ChordRing
+from repro.core.components import ComponentState, balanced_count_at
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import ComponentSpec, DecompositionTree
+from repro.core.metrics import NetworkMetrics, measure
+from repro.core.verification import check_step_property
+from repro.core.wiring import MergerConvention, Wiring
+from repro.errors import ComponentNotFound, ProtocolError
+from repro.runtime.combining import BatchTokenMsg, Combiner, CombiningConfig
+from repro.runtime.directory import ComponentDirectory
+from repro.runtime.host import NodeHost
+from repro.runtime.lookup import InputLookup, LookupResult
+from repro.runtime.membership import CrashReport, MembershipManager
+from repro.runtime.reconfig import Reconfigurator
+from repro.runtime.rules import RulesEngine
+from repro.runtime.audit import StateAuditor
+from repro.runtime.stabilization import Stabilizer
+from repro.runtime.tokens import Token, TokenMsg, TokenStats
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.node import MessageBus
+
+Path = Tuple[int, ...]
+
+#: Tokens give up after this many re-resolution attempts (only reachable
+#: when recovery is disabled and the network has a permanent hole).
+MAX_REROUTES = 64
+
+#: Delay before a token retries after hitting a missing component.
+RETRY_DELAY = 1.0
+
+
+@dataclass
+class SystemStats:
+    """Control-plane statistics for one system instance."""
+
+    splits: int = 0
+    merges: int = 0
+    handoffs: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    control_messages: int = 0
+    lookup_tries: List[int] = field(default_factory=list)
+    lookup_hops: List[int] = field(default_factory=list)
+    dropped_tokens: int = 0
+    disturbed_tokens: int = 0
+
+
+class AdaptiveCountingSystem:
+    """A complete, simulated deployment of the adaptive bitonic network."""
+
+    def __init__(
+        self,
+        width: int,
+        seed: int = 0,
+        initial_nodes: int = 1,
+        latency: Optional[LatencyModel] = None,
+        service_time: float = 0.0,
+        step_multiplier: int = 4,
+        hysteresis: int = 0,
+        convention: MergerConvention = MergerConvention.AHS94,
+        auto_stabilize: bool = True,
+        combining: Optional[CombiningConfig] = None,
+        tree=None,
+        wiring=None,
+    ):
+        if (tree is None) != (wiring is None):
+            raise ProtocolError("pass tree and wiring together, or neither")
+        self.tree = tree if tree is not None else DecompositionTree(width)
+        self.width = self.tree.width
+        self.wiring = wiring if wiring is not None else Wiring(self.tree, convention)
+        self.ring = ChordRing(seed=seed)
+        self.rng = random.Random(seed + 1)
+        self.sim = Simulator()
+        self.bus = MessageBus(self.sim, latency or ConstantLatency(1.0), service_time)
+        self.control_latency = 1.0
+        self.step_multiplier = step_multiplier
+        self.auto_stabilize = auto_stabilize
+        self.directory = ComponentDirectory(self.tree, self.ring)
+        self.hosts: Dict[int, NodeHost] = {}
+        self.stats = SystemStats()
+        self.token_stats = TokenStats()
+        self.injected_per_wire = [0] * width
+        self.output_counts = [0] * width
+        self.lost_components: Set[Path] = set()
+        self._inflight: Dict[Path, int] = {}
+        self._token_counter = 0
+        self._next_wire = 0
+        self._retire_callbacks: List[Callable[[Token], None]] = []
+        self.combiner = (
+            Combiner(self, combining) if combining and combining.enabled else None
+        )
+        self.reconfig = Reconfigurator(self)
+        self.rules = RulesEngine(self, hysteresis)
+        self.membership = MembershipManager(self)
+        self.stabilizer = Stabilizer(self)
+        self.auditor = StateAuditor(self)
+        self.lookup = InputLookup(self)
+        # Bootstrap: the first node hosts the whole network as a single
+        # component (Section 1.2: "initially, the entire bitonic network
+        # resides on one node").
+        first = self.membership.join()
+        self.hosts[first.node_id].install(ComponentState(self.tree.root))
+        self.directory.register((), first.node_id)
+        for _ in range(initial_nodes - 1):
+            self.add_node()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_node(self, name: Optional[str] = None) -> ChordNode:
+        """A node joins the p2p network (Section 3.4: no counting-network
+        change beyond consistent-hash handoffs)."""
+        return self.membership.join(name)
+
+    def remove_node(self, node_id: Optional[int] = None) -> int:
+        """A node leaves gracefully, handing off its components."""
+        if node_id is None:
+            node_id = self.rng.choice(sorted(self.hosts))
+        self.membership.leave(node_id)
+        return node_id
+
+    def crash_node(self, node_id: Optional[int] = None) -> CrashReport:
+        """A node crashes, losing its state; recovery restores a legal
+        network state (unless ``auto_stabilize`` is off)."""
+        if node_id is None:
+            node_id = self.rng.choice(sorted(self.hosts))
+        report = self.membership.crash(node_id)
+        self.lost_components.update(report.lost_components)
+        if self.auto_stabilize:
+            self.stabilize()
+        return report
+
+    def stabilize(self) -> List[Path]:
+        """Run crash recovery now; returns the restored component paths."""
+        restored = self.stabilizer.stabilize()
+        self.lost_components.clear()
+        return restored
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ring)
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def converge(self, max_rounds: int = 64) -> int:
+        """Let every node apply the Section 3.2 rules until no node acts.
+
+        Returns the number of evaluation rounds. Raises if the rules do
+        not reach a fixpoint within ``max_rounds`` (they always should:
+        level estimates are stable between membership changes).
+        """
+        for round_index in range(max_rounds):
+            actions = 0
+            for node_id in sorted(self.hosts):
+                host = self.hosts.get(node_id)
+                if host is not None:
+                    actions += self.rules.evaluate(host)
+            self.run_until_quiescent()
+            if actions == 0:
+                return round_index + 1
+        raise ProtocolError("rules did not converge within %d rounds" % max_rounds)
+
+    # ------------------------------------------------------------------
+    # token plane
+    # ------------------------------------------------------------------
+    def inject_token(
+        self, wire: Optional[int] = None, from_node: Optional[int] = None
+    ) -> Token:
+        """A client sends one token into the network.
+
+        ``wire`` defaults to round-robin over the input wires (a client
+        may choose any); ``from_node`` (for DHT hop accounting) defaults
+        to a random live node.
+        """
+        if wire is None:
+            wire = self._next_wire
+            self._next_wire = (self._next_wire + 1) % self.width
+        if from_node is None and self.hosts:
+            from_node = self.rng.choice(sorted(self.hosts))
+        token = Token(self._token_counter, wire, self.sim.now)
+        self._token_counter += 1
+        self.token_stats.issued += 1
+        self.injected_per_wire[wire] += 1
+        self._attempt_injection(token, wire, from_node)
+        return token
+
+    def _attempt_injection(self, token: Token, wire: int, from_node) -> None:
+        """Look up the input component and send; if the lookup hits a
+        crash hole, the client retries until recovery restores it."""
+        try:
+            result = self.find_input(wire, from_node)
+        except ComponentNotFound:
+            token.reroutes += 1
+            if token.reroutes > MAX_REROUTES:
+                self.stats.dropped_tokens += 1
+                return
+            self.sim.schedule(
+                RETRY_DELAY, lambda: self._attempt_injection(token, wire, from_node)
+            )
+            return
+        self.send_token(result.path, result.port, token)
+
+    def find_input(self, wire: int, from_node: Optional[int] = None) -> LookupResult:
+        """Section 3.5's input-component lookup, with stats recorded."""
+        result = self.lookup.find(wire, from_node)
+        self.stats.lookup_tries.append(result.tries)
+        self.stats.lookup_hops.append(result.dht_hops)
+        return result
+
+    def send_token(self, path: Path, port: int, token: Token) -> None:
+        """Forward a token to input ``port`` of the component at ``path``.
+
+        With combining enabled, the token may wait up to the combining
+        window at the sender so companions headed to the same component
+        share one message.
+        """
+        path = tuple(path)
+        if not self.directory.is_live(path):
+            self.reroute_token(path, port, token)
+            return
+        if self.combiner is not None:
+            self.combiner.offer(path, port, token)
+            return
+        self.dispatch_batch(path, [(port, token)])
+
+    def dispatch_batch(self, path: Path, items) -> None:
+        """Ship a batch of (port, token) pairs as one message."""
+        path = tuple(path)
+        if not self.directory.is_live(path):
+            for port, token in items:
+                self.reroute_token(path, port, token)
+            return
+        owner = self.directory.owner(path)
+        for _port, token in items:
+            token.hops += 1
+        self._inflight[path] = self._inflight.get(path, 0) + len(items)
+        if len(items) == 1:
+            port, token = items[0]
+            message = TokenMsg(path, port, token)
+        else:
+            message = BatchTokenMsg(path, tuple(items))
+        self.bus.send(
+            owner,
+            message,
+            kind="token",
+            on_undeliverable=lambda: self._batch_undelivered(path, list(items)),
+        )
+
+    def _batch_undelivered(self, path: Path, items) -> None:
+        for _ in items:
+            self.note_token_arrived(path)
+        for port, token in items:
+            self._retry(path, port, token)
+
+    def note_token_arrived(self, path: Path) -> None:
+        remaining = self._inflight.get(path, 0) - 1
+        if remaining > 0:
+            self._inflight[path] = remaining
+        else:
+            self._inflight.pop(path, None)
+
+    def _retry(self, path: Path, port: int, token: Token) -> None:
+        token.reroutes += 1
+        if token.reroutes > MAX_REROUTES:
+            self.stats.dropped_tokens += 1
+            return
+        self.sim.schedule(RETRY_DELAY, lambda: self.send_token(path, port, token))
+
+    def reroute_token(self, path: Path, port: int, token: Token) -> None:
+        """Re-resolve a token addressed to a component that is gone.
+
+        The component was merged into an ancestor (re-address upward
+        through the input wiring), split into descendants (descend), is
+        temporarily missing after a crash (retry until recovery restores
+        it), or is live again at a new home (re-send).
+        """
+        path = tuple(path)
+        covering = self.directory.covering_member(path)
+        if covering == path:
+            self._retry(path, port, token)  # moved homes; re-resolve
+            return
+        if covering is not None:
+            token.reroutes += 1
+            spec = self.tree.node(path)
+            current_port = port
+            while spec.path != covering:
+                parent = self.tree.parent(spec)
+                source = self.wiring.parent_input_source(
+                    parent, spec.path[-1], current_port
+                )
+                if source is None:
+                    raise ProtocolError(
+                        "in-flight token on an internal wire of a merged "
+                        "subtree (%r port %d)" % (path, port)
+                    )
+                spec, current_port = parent, source
+            self.send_token(covering, current_port, token)
+            return
+        descendants = self.directory.live_descendants(path)
+        if descendants:
+            token.reroutes += 1
+            member, member_port = self.wiring.descend_input(
+                self.tree.node(path), port, self.directory.live_paths()
+            )
+            self.send_token(member.path, member_port, token)
+            return
+        # Crash hole: wait for stabilisation.
+        self._retry(path, port, token)
+
+    def retire_token(
+        self, token: Token, state: ComponentState, out_port: int, wire: int
+    ) -> None:
+        """A token leaves the network on output ``wire`` with its value.
+
+        The value is computed *locally* by the output component: it is
+        the ``n``-th token this component ever emitted on this port
+        (a closed form of its counter), so ``value = (n-1)*width +
+        wire`` — globally unique and gap-free while no tokens are lost.
+        """
+        emitted = balanced_count_at(0, state.total, state.width, out_port)
+        token.value = (emitted - 1) * self.width + wire
+        token.exit_wire = wire
+        token.retired_at = self.sim.now
+        self.output_counts[wire] += 1
+        self.token_stats.record_retired(token)
+        for callback in self._retire_callbacks:
+            callback(token)
+
+    def on_retire(self, callback: Callable[[Token], None]) -> None:
+        """Register a callback invoked whenever a token retires."""
+        self._retire_callbacks.append(callback)
+
+    def next_value(self) -> int:
+        """Convenience: inject one token, run to quiescence, return its
+        counter value (the distributed-counter application)."""
+        token = self.inject_token()
+        self.run_until_quiescent()
+        if token.value is None:
+            raise ProtocolError("token %d did not retire" % token.token_id)
+        return token.value
+
+    # ------------------------------------------------------------------
+    # simulator control
+    # ------------------------------------------------------------------
+    def advance(self, delta: float) -> None:
+        """Let ``delta`` simulated time pass (processing due events)."""
+        self.sim.run_until(self.sim.now + delta)
+
+    def run_until_quiescent(self, max_events: int = 10_000_000) -> None:
+        """Process events until nothing is pending."""
+        self.sim.run_until_idle(max_events)
+
+    def drain_paths(self, paths: Set[Path]) -> None:
+        """Step the simulator until no token is in flight toward
+        ``paths`` (used by the merge protocol). Combining buffers are
+        flushed so no token lingers on an internal wire of the subtree."""
+        while True:
+            if self.combiner is not None:
+                self.combiner.flush_all()
+            if not any(self._inflight.get(p, 0) for p in paths):
+                return
+            if not self.sim.step():
+                raise ProtocolError("drain stalled with tokens in flight")
+
+    def invalidate_caches(self) -> None:
+        """Drop all out-neighbour caches (the network changed)."""
+        for host in self.hosts.values():
+            host.clear_edge_cache()
+
+    def resolve_edge(self, spec: ComponentSpec, out_port: int):
+        """Where (``spec``, output ``out_port``) leads under the live cut.
+
+        ``("missing", path, port)`` marks a crash hole: the token is
+        addressed to the hole's subtree root and retried until
+        stabilisation restores a member there.
+        """
+        resolved = self.wiring.resolve_output(
+            spec, out_port, self.directory.live_paths()
+        )
+        if resolved[0] in ("member", "missing"):
+            return (resolved[0], resolved[1].path, resolved[2])
+        return resolved
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def snapshot_cut(self) -> Cut:
+        """The currently deployed cut."""
+        return self.directory.as_cut()
+
+    def snapshot_network(self) -> CutNetwork:
+        """An offline :class:`CutNetwork` mirroring the live deployment
+        (copied states), for metrics and verification."""
+        network = CutNetwork(self.snapshot_cut(), wiring=self.wiring)
+        for path in list(network.states):
+            owner = self.directory.owner(path)
+            network.states[path] = self.hosts[owner].components[path].copy()
+        network.output_counts = list(self.output_counts)
+        return network
+
+    def metrics(self) -> NetworkMetrics:
+        """Effective width/depth and component count (Definitions 1.1/1.2)."""
+        return measure(self.snapshot_network())
+
+    def components_per_node(self) -> List[int]:
+        """Component counts across live nodes (Lemma 3.5's quantity)."""
+        return [host.component_count() for host in self.hosts.values()]
+
+    def component_levels(self) -> List[int]:
+        """Levels of all live components (Lemma 3.4's quantity)."""
+        return sorted(len(path) for path in self.directory.live_paths())
+
+    def node_levels(self) -> List[int]:
+        """Every node's current level estimate ``ell_v``."""
+        return [self.rules.node_level(host) for host in self.hosts.values()]
+
+    def verify(self) -> None:
+        """Check global invariants; raises on violation.
+
+        * the directory is a valid cut with every component at its home;
+        * every component is quiescent (arrivals == departures);
+        * all issued tokens retired (no losses);
+        * the quiescent output distribution has the step property;
+        """
+        self.directory.check_consistent()
+        for host in self.hosts.values():
+            for path, state in host.components.items():
+                if state.arrived_total() != state.total:
+                    raise ProtocolError(
+                        "component %r not quiescent: %d arrived, %d routed"
+                        % (path, state.arrived_total(), state.total)
+                    )
+        if self.token_stats.retired != self.token_stats.issued:
+            raise ProtocolError(
+                "%d tokens issued but %d retired"
+                % (self.token_stats.issued, self.token_stats.retired)
+            )
+        check_step_property(self.output_counts)

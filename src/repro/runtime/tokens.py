@@ -1,0 +1,61 @@
+"""Tokens and token bookkeeping for the distributed runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class Token:
+    """One client token traversing the adaptive counting network."""
+
+    token_id: int
+    entry_wire: int
+    issued_at: float
+    hops: int = 0
+    reroutes: int = 0
+    retired_at: Optional[float] = None
+    exit_wire: Optional[int] = None
+    value: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.retired_at is None:
+            return None
+        return self.retired_at - self.issued_at
+
+
+@dataclass(frozen=True)
+class TokenMsg:
+    """A token addressed to input ``port`` of the component at ``path``."""
+
+    path: Tuple[int, ...]
+    port: int
+    token: Token
+
+
+@dataclass
+class TokenStats:
+    """Aggregate token-plane statistics for one run."""
+
+    issued: int = 0
+    retired: int = 0
+    total_hops: int = 0
+    total_reroutes: int = 0
+    latencies: list = field(default_factory=list)
+
+    def record_retired(self, token: Token) -> None:
+        self.retired += 1
+        self.total_hops += token.hops
+        self.total_reroutes += token.reroutes
+        self.latencies.append(token.latency)
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.retired if self.retired else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        valid = [latency for latency in self.latencies if latency is not None]
+        return sum(valid) / len(valid) if valid else 0.0

@@ -1,0 +1,22 @@
+"""A seeded discrete-event message-passing simulator.
+
+The paper assumes an asynchronous message-passing distributed system
+(Section 1.3). This subpackage provides the executable model: a global
+event queue (:mod:`repro.sim.events`), pluggable message latency
+distributions (:mod:`repro.sim.latency`), per-node service queues so a
+hot node becomes a measurable bottleneck (:mod:`repro.sim.node`), and
+churn/failure trace generation (:mod:`repro.sim.failures`).
+"""
+
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.sim.node import SimulatedProcess, MessageBus
+
+__all__ = [
+    "Simulator",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "UniformLatency",
+    "SimulatedProcess",
+    "MessageBus",
+]

@@ -1,0 +1,70 @@
+"""Churn and failure trace generation (Section 3.4 experiments).
+
+A churn trace is a reproducible sequence of membership events used by
+the churn and crash benches: joins, graceful leaves and crashes, drawn
+from seeded distributions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership event at a simulated time."""
+
+    time: float
+    action: str  # "join" | "leave" | "crash"
+
+
+def churn_trace(
+    rng: random.Random,
+    duration: float,
+    join_rate: float,
+    leave_rate: float,
+    crash_rate: float = 0.0,
+) -> List[ChurnEvent]:
+    """A Poisson churn trace over ``duration`` simulated time units.
+
+    Rates are events per time unit. Events are returned time-ordered.
+    """
+    if duration <= 0:
+        raise SimulationError("duration must be positive")
+    events: List[ChurnEvent] = []
+    for action, rate in (("join", join_rate), ("leave", leave_rate), ("crash", crash_rate)):
+        if rate < 0:
+            raise SimulationError("negative rate for %s" % action)
+        if rate == 0:
+            continue
+        t = rng.expovariate(rate)
+        while t < duration:
+            events.append(ChurnEvent(t, action))
+            t += rng.expovariate(rate)
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def growth_then_shrink(
+    grow_to: int, shrink_to: int, start_size: int, spacing: float = 1.0
+) -> List[ChurnEvent]:
+    """A deterministic trace: grow to ``grow_to`` nodes, then shrink.
+
+    Used by the adaptation benches to show splits on the way up and
+    merges on the way down.
+    """
+    if not 0 < shrink_to <= grow_to or start_size < 1:
+        raise SimulationError("need 0 < shrink_to <= grow_to and start_size >= 1")
+    events: List[ChurnEvent] = []
+    t = spacing
+    for _ in range(max(0, grow_to - start_size)):
+        events.append(ChurnEvent(t, "join"))
+        t += spacing
+    for _ in range(grow_to - shrink_to):
+        events.append(ChurnEvent(t, "leave"))
+        t += spacing
+    return events

@@ -1,0 +1,58 @@
+"""Message latency models.
+
+The adaptive network's claims are about *shape* (hops, parallelism), not
+absolute delay, so latency models are pluggable: constant for
+deterministic tests, uniform/exponential for realism in benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SimulationError
+
+
+class LatencyModel:
+    """Base class: one ``sample()`` per message."""
+
+    def sample(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float = 1.0):
+        if value < 0:
+            raise SimulationError("latency cannot be negative")
+        self.value = value
+
+    def sample(self) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, rng: random.Random):
+        if not 0 <= low <= high:
+            raise SimulationError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self.rng = rng
+
+    def sample(self) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed latency with the given mean."""
+
+    def __init__(self, mean: float, rng: random.Random):
+        if mean <= 0:
+            raise SimulationError("mean latency must be positive")
+        self.mean = mean
+        self.rng = rng
+
+    def sample(self) -> float:
+        return self.rng.expovariate(1.0 / self.mean)

@@ -1,0 +1,125 @@
+"""Simulated processes and the message bus.
+
+A :class:`SimulatedProcess` is anything that handles messages (the
+runtime's node hosts). The :class:`MessageBus` delivers messages between
+processes with sampled network latency and models a single-server
+processing queue per process: each message occupies its destination for
+``service_time`` simulated units, so a node that receives the whole
+token stream (e.g. the one hosting the root component, or a central
+counter) becomes a measurable throughput bottleneck — the effect
+Section 2's motivating example is about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+
+class SimulatedProcess:
+    """Base class for message handlers attached to the bus."""
+
+    def handle_message(self, message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MessageBus:
+    """Routes messages between registered processes.
+
+    ``service_time`` is the per-message processing cost at the receiver
+    (a single-server FIFO queue per process); ``latency`` is the network
+    transit model. Both default to values that make unit tests
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        service_time: float = 0.0,
+    ):
+        if service_time < 0:
+            raise SimulationError("service time cannot be negative")
+        self.simulator = simulator
+        self.latency = latency or ConstantLatency(1.0)
+        self.service_time = service_time
+        self._processes: Dict[Hashable, SimulatedProcess] = {}
+        self._busy_until: Dict[Hashable, float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self._in_flight_by_kind: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, address: Hashable, process: SimulatedProcess) -> None:
+        if address in self._processes:
+            raise SimulationError("address %r already registered" % (address,))
+        self._processes[address] = process
+
+    def unregister(self, address: Hashable) -> None:
+        self._processes.pop(address, None)
+        self._busy_until.pop(address, None)
+
+    def is_registered(self, address: Hashable) -> bool:
+        return address in self._processes
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def in_flight(self, kind: str) -> int:
+        """Messages of a given kind sent but not yet handled."""
+        return self._in_flight_by_kind.get(kind, 0)
+
+    def send(
+        self,
+        to_address: Hashable,
+        message,
+        kind: str = "message",
+        on_undeliverable: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Deliver ``message`` to ``to_address`` after latency + queueing.
+
+        If the destination is gone at delivery time (crash), the message
+        is dropped and ``on_undeliverable`` (if given) runs instead —
+        this is how neighbours notice lost components.
+        """
+        self.messages_sent += 1
+        self._in_flight_by_kind[kind] = self._in_flight_by_kind.get(kind, 0) + 1
+        transit = self.latency.sample()
+
+        def arrive() -> None:
+            process = self._processes.get(to_address)
+            if process is None:
+                self._finish(kind)
+                self.messages_dropped += 1
+                if on_undeliverable is not None:
+                    on_undeliverable()
+                return
+            start = max(self.simulator.now, self._busy_until.get(to_address, 0.0))
+            finish = start + self.service_time
+            self._busy_until[to_address] = finish
+
+            def process_it() -> None:
+                current = self._processes.get(to_address)
+                self._finish(kind)
+                if current is None:
+                    self.messages_dropped += 1
+                    if on_undeliverable is not None:
+                        on_undeliverable()
+                    return
+                self.messages_delivered += 1
+                current.handle_message(message)
+
+            self.simulator.schedule_at(finish, process_it)
+
+        self.simulator.schedule(transit, arrive)
+
+    def _finish(self, kind: str) -> None:
+        self._in_flight_by_kind[kind] -= 1
+        if self._in_flight_by_kind[kind] == 0:
+            del self._in_flight_by_kind[kind]

@@ -1,0 +1,93 @@
+"""Tests for the graph algorithms behind the effective metrics."""
+
+import pytest
+
+from repro.analysis.graphs import (
+    longest_path_vertices,
+    max_vertex_disjoint_paths,
+    reachable,
+    topological_order,
+)
+from repro.errors import StructureError
+
+
+class TestVertexDisjointPaths:
+    def test_single_node(self):
+        graph = {"a": []}
+        assert max_vertex_disjoint_paths(graph, ["a"], ["a"]) == 1
+
+    def test_chain(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        assert max_vertex_disjoint_paths(graph, ["a"], ["c"]) == 1
+
+    def test_parallel_paths(self):
+        graph = {"s1": ["t1"], "s2": ["t2"], "t1": [], "t2": []}
+        assert max_vertex_disjoint_paths(graph, ["s1", "s2"], ["t1", "t2"]) == 2
+
+    def test_shared_middle_vertex_limits(self):
+        graph = {"s1": ["m"], "s2": ["m"], "m": ["t1", "t2"], "t1": [], "t2": []}
+        assert max_vertex_disjoint_paths(graph, ["s1", "s2"], ["t1", "t2"]) == 1
+
+    def test_disconnected(self):
+        graph = {"s": [], "t": []}
+        assert max_vertex_disjoint_paths(graph, ["s"], ["t"]) == 0
+
+    def test_diamond(self):
+        graph = {"s": ["a", "b"], "a": ["t"], "b": ["t"], "t": []}
+        assert max_vertex_disjoint_paths(graph, ["s"], ["t"]) == 1
+
+    def test_bigger_flow(self):
+        graph = {
+            "s1": ["a", "b"],
+            "s2": ["b", "c"],
+            "a": ["t1"],
+            "b": ["t1", "t2"],
+            "c": ["t2"],
+            "t1": [],
+            "t2": [],
+        }
+        assert max_vertex_disjoint_paths(graph, ["s1", "s2"], ["t1", "t2"]) == 2
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(StructureError):
+            max_vertex_disjoint_paths({"a": []}, ["ghost"], ["a"])
+
+    def test_unknown_edge_target_rejected(self):
+        with pytest.raises(StructureError):
+            max_vertex_disjoint_paths({"a": ["ghost"]}, ["a"], ["a"])
+
+
+class TestLongestPath:
+    def test_single_vertex(self):
+        assert longest_path_vertices({"a": []}, ["a"], ["a"]) == 1
+
+    def test_chain_counts_vertices(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        assert longest_path_vertices(graph, ["a"], ["c"]) == 3
+
+    def test_longest_of_several(self):
+        graph = {"s": ["a", "t"], "a": ["b"], "b": ["t"], "t": []}
+        assert longest_path_vertices(graph, ["s"], ["t"]) == 4
+
+    def test_unreachable_sink(self):
+        graph = {"s": [], "t": []}
+        assert longest_path_vertices(graph, ["s"], ["t"]) == 0
+
+    def test_cycle_detected(self):
+        graph = {"a": ["b"], "b": ["a"]}
+        with pytest.raises(StructureError):
+            longest_path_vertices(graph, ["a"], ["b"])
+
+
+class TestHelpers:
+    def test_topological_order(self):
+        graph = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+        order = topological_order(graph)
+        position = {n: i for i, n in enumerate(order)}
+        assert position["a"] < position["b"] < position["d"]
+        assert position["a"] < position["c"] < position["d"]
+
+    def test_reachable(self):
+        graph = {"a": ["b"], "b": ["c"], "c": [], "d": []}
+        assert reachable(graph, "a") == {"a", "b", "c"}
+        assert reachable(graph, "d") == {"d"}

@@ -1,0 +1,102 @@
+"""Tests for the large-scale converged-state sampler."""
+
+import pytest
+
+from repro.analysis.largescale import (
+    ConvergedCut,
+    converge_cut,
+    measure_scale,
+    sample_system,
+)
+from repro.core.decomposition import DecompositionTree
+from repro.errors import StructureError
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return DecompositionTree(1 << 16)
+
+
+class TestSampling:
+    def test_estimates_match_runtime_estimator(self, tree):
+        """The array-based estimator equals the ring-based one."""
+        from repro.chord.estimation import SizeEstimator
+        from repro.chord.ring import ChordRing
+
+        n = 200
+        system = sample_system(n, tree, seed=5)
+        ring = ChordRing(seed=123)
+        for node_id in system.ids:
+            ring.join(node_id=node_id)
+        estimator = SizeEstimator(ring)
+        for index in range(0, n, 17):
+            expected = estimator.size_estimate(system.ids[index])
+            assert system.size_estimates[index] == pytest.approx(expected)
+
+    def test_single_node(self, tree):
+        system = sample_system(1, tree, seed=1)
+        assert system.size_estimates == [1.0]
+        assert system.level_estimates == [0]
+
+    def test_invalid_n(self, tree):
+        with pytest.raises(StructureError):
+            sample_system(0, tree)
+
+
+class TestConvergedCut:
+    def test_matches_real_runtime(self, tree):
+        """The fixpoint abstraction equals what the full runtime's
+        converge() reaches from a fresh start (same ids, same hashes)."""
+        from repro.runtime.system import AdaptiveCountingSystem
+
+        width = 1 << 10
+        small_tree = DecompositionTree(width)
+        runtime = AdaptiveCountingSystem(width=width, seed=42, initial_nodes=40)
+        runtime.converge()
+        system = sample_system(40, small_tree, seed=0)
+        # use the runtime's actual node ids so homes agree
+        system.ids = sorted(h for h in runtime.hosts)
+        system.size_estimates = []
+        system.level_estimates = []
+        for node_id in system.ids:
+            host = runtime.hosts[node_id]
+            level = runtime.rules.node_level(host)
+            system.level_estimates.append(level)
+            system.size_estimates.append(0.0)  # unused by converge_cut
+        cut = converge_cut(system, small_tree)
+        from collections import Counter
+
+        runtime_levels = Counter(len(p) for p in runtime.directory.live_paths())
+        assert cut.paths_by_level == dict(runtime_levels)
+        assert cut.num_components == len(runtime.directory)
+
+    def test_single_node_stays_singleton(self, tree):
+        system = sample_system(1, tree, seed=2)
+        cut = converge_cut(system, tree)
+        assert cut.num_components == 1
+        assert cut.paths_by_level == {0: 1}
+        assert cut.width_bound() == 1
+        assert cut.depth_bound() == 1
+
+    def test_loads_sum_to_components(self, tree):
+        system = sample_system(500, tree, seed=3)
+        cut = converge_cut(system, tree)
+        assert sum(cut.loads.values()) == cut.num_components
+        assert cut.max_load() >= 1
+
+
+class TestScaleReport:
+    def test_paper_windows_hold_at_scale(self, tree):
+        report = measure_scale(4096, tree, seed=7)
+        assert report.estimate_window_fraction == 1.0
+        low, high = report.level_spread
+        assert report.ell_star - 4 <= low <= high <= report.ell_star + 4
+        assert 1 / 6 ** 5 <= report.components_per_node <= 6 ** 4
+        assert report.width_scale_ratio > 0.1
+        assert report.depth_scale_ratio < 3.0
+
+    def test_monotone_growth(self, tree):
+        small = measure_scale(256, tree, seed=8)
+        large = measure_scale(8192, tree, seed=8)
+        assert large.components > small.components
+        assert large.width_bound >= small.width_bound

@@ -1,0 +1,56 @@
+"""Tests for the text renderers."""
+
+from repro.analysis.render import render_network, render_step_histogram, render_tree
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+
+
+class TestRenderTree:
+    def test_full_tree_lists_all_components(self):
+        tree = DecompositionTree(8)
+        text = render_tree(tree)
+        assert text.count("\n") + 1 == tree.size()
+        assert "B[8]@root" in text
+        assert "X[2]" in text
+
+    def test_cut_members_marked_and_elided(self):
+        tree = DecompositionTree(8)
+        cut = Cut.level(tree, 1)
+        text = render_tree(tree, cut)
+        assert text.count("<== member") == 6
+        # members' subtrees are not drawn
+        assert "B[2]" not in text
+
+    def test_max_depth_elides(self):
+        tree = DecompositionTree(32)
+        text = render_tree(tree, max_depth=1)
+        assert "..." in text
+        assert "B[8]" not in text
+
+
+class TestRenderNetwork:
+    def test_layers_and_arrows(self):
+        tree = DecompositionTree(8)
+        text = render_network(CutNetwork(Cut.level(tree, 1)))
+        assert "layer 1:" in text and "layer 3:" in text
+        assert "B[4]@0 [in] -> M[4]@2, M[4]@3" in text
+        assert "X[4]@4 [out] -> OUTPUT" in text
+
+    def test_singleton(self):
+        tree = DecompositionTree(8)
+        text = render_network(CutNetwork(Cut.singleton(tree)))
+        assert "B[8]@root [in,out] -> OUTPUT" in text
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = render_step_histogram([4, 4, 3, 3], width=8)
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].count("#") == 8
+        assert lines[2].count("#") == 6
+
+    def test_empty_and_zero(self):
+        assert render_step_histogram([]) == ""
+        text = render_step_histogram([0, 0])
+        assert "#" not in text

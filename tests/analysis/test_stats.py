@@ -1,0 +1,90 @@
+"""Tests for the statistics helpers (cross-checked against numpy)."""
+
+import random
+
+import pytest
+
+from repro.analysis import stats
+from repro.errors import ReproError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert stats.mean([1, 2, 3]) == 2.0
+        with pytest.raises(ReproError):
+            stats.mean([])
+
+    def test_variance_and_stddev(self):
+        assert stats.variance([5]) == 0.0
+        assert stats.variance([1, 3]) == 2.0
+        assert stats.stddev([1, 3]) == pytest.approx(2 ** 0.5)
+
+    def test_quantiles(self):
+        values = [1, 2, 3, 4, 5]
+        assert stats.quantile(values, 0.0) == 1
+        assert stats.quantile(values, 1.0) == 5
+        assert stats.median(values) == 3
+        assert stats.quantile(values, 0.25) == 2
+        with pytest.raises(ReproError):
+            stats.quantile(values, 1.5)
+        with pytest.raises(ReproError):
+            stats.quantile([], 0.5)
+
+    def test_summary(self):
+        summary = stats.summarize([1, 2, 3, 4])
+        assert summary.n == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert "mean" in str(summary)
+
+    def test_geometric_mean(self):
+        assert stats.geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            stats.geometric_mean([1, -1])
+        with pytest.raises(ReproError):
+            stats.geometric_mean([])
+
+    def test_confidence_interval(self):
+        assert stats.confidence_interval_95([5]) == 0.0
+        assert stats.confidence_interval_95([1, 3]) > 0
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        xs = [0, 1, 2, 3]
+        ys = [1, 3, 5, 7]
+        slope, intercept = stats.linear_fit(xs, ys)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ReproError):
+            stats.linear_fit([1, 1], [2, 3])
+        with pytest.raises(ReproError):
+            stats.linear_fit([1], [2])
+
+
+class TestAgainstNumpy:
+    def test_mean_std_quantiles_match(self):
+        numpy = pytest.importorskip("numpy")
+        rng = random.Random(1)
+        values = [rng.gauss(10, 3) for _ in range(500)]
+        assert stats.mean(values) == pytest.approx(float(numpy.mean(values)))
+        assert stats.stddev(values) == pytest.approx(
+            float(numpy.std(values, ddof=1))
+        )
+        for q in (0.1, 0.5, 0.9):
+            assert stats.quantile(values, q) == pytest.approx(
+                float(numpy.quantile(values, q))
+            )
+
+    def test_linear_fit_matches_polyfit(self):
+        numpy = pytest.importorskip("numpy")
+        rng = random.Random(2)
+        xs = [float(i) for i in range(50)]
+        ys = [2.5 * x - 4 + rng.gauss(0, 0.5) for x in xs]
+        slope, intercept = stats.linear_fit(xs, ys)
+        ref_slope, ref_intercept = numpy.polyfit(xs, ys, 1)
+        assert slope == pytest.approx(float(ref_slope))
+        assert intercept == pytest.approx(float(ref_intercept))

@@ -1,0 +1,80 @@
+"""Tests for the paper's analytical formulas."""
+
+import pytest
+
+from repro.analysis.theory import TheoryModel, max_load_scale, static_balancer_count
+from repro.errors import StructureError
+
+
+class TestStaticBalancerCount:
+    def test_formula(self):
+        # w log w (log w + 1) / 4
+        assert static_balancer_count(2) == 1
+        assert static_balancer_count(4) == 6
+        assert static_balancer_count(8) == 24
+        assert static_balancer_count(16) == 80
+
+    def test_invalid_width(self):
+        with pytest.raises(StructureError):
+            static_balancer_count(12)
+
+
+class TestTheoryModel:
+    def test_phi_fact1(self):
+        model = TheoryModel(1 << 10)
+        assert model.check_fact1()
+        assert [model.phi(k) for k in range(4)] == [1, 6, 24, 80]
+
+    def test_ell_star_monotone(self):
+        model = TheoryModel(1 << 12)
+        previous = -1
+        for n in (1, 2, 7, 25, 81, 241, 1000, 5000):
+            star = model.ell_star(n)
+            assert star >= previous
+            previous = star
+
+    def test_ell_star_definition(self):
+        model = TheoryModel(1 << 12)
+        for n in (2, 10, 100, 1000):
+            star = model.ell_star(n)
+            assert model.phi(star) < n or star == 0
+            if star < model.tree.max_level:
+                assert model.phi(star + 1) >= n
+
+    def test_ell_star_invalid(self):
+        with pytest.raises(StructureError):
+            TheoryModel(64).ell_star(0)
+
+    def test_bounds(self):
+        model = TheoryModel(64)
+        assert model.depth_bound(0) == 1
+        assert model.depth_bound(2) == 6
+        assert model.width_bound(3) == 8
+
+    def test_level_window_clamped(self):
+        model = TheoryModel(16)  # max level 3
+        window = model.level_window(10 ** 6)
+        assert max(window) <= 3
+        assert min(window) >= 0
+
+    def test_component_count_window(self):
+        model = TheoryModel(64)
+        low, high = model.component_count_window(100)
+        assert low == pytest.approx(100 / 6 ** 5)
+        assert high == 6 ** 4 * 100
+
+    def test_scales_positive(self):
+        model = TheoryModel(64)
+        assert model.predicted_depth_scale(100) > 0
+        assert model.predicted_width_scale(100) > 0
+        assert model.lookup_bound() == 5  # log2(64) - 1 names (Section 3.5)
+
+
+class TestMaxLoadScale:
+    def test_small_n(self):
+        assert max_load_scale(1) == 1.0
+        assert max_load_scale(2) == 1.0
+
+    def test_grows_slowly(self):
+        assert max_load_scale(100) < max_load_scale(10 ** 6)
+        assert max_load_scale(10 ** 6) < 10

@@ -1,0 +1,56 @@
+"""Tests for the distributed counter application (paper Section 1.1)."""
+
+import pytest
+
+from repro.apps.counter import DistributedCounter
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+@pytest.fixture
+def system():
+    system = AdaptiveCountingSystem(width=16, seed=1, initial_nodes=10)
+    system.converge()
+    return system
+
+
+class TestSynchronous:
+    def test_sequential_values(self, system):
+        counter = DistributedCounter(system)
+        assert [counter.next() for _ in range(8)] == list(range(8))
+
+    def test_values_continue_across_reconfiguration(self, system):
+        counter = DistributedCounter(system)
+        values = [counter.next() for _ in range(5)]
+        for _ in range(20):
+            system.add_node()
+        system.converge()
+        values += [counter.next() for _ in range(5)]
+        assert values == list(range(10))
+
+
+class TestAsynchronous:
+    def test_batched_requests_gap_free(self, system):
+        counter = DistributedCounter(system)
+        for _ in range(60):
+            counter.request()
+        assert counter.outstanding == 60
+        values = counter.settle()
+        assert values == list(range(60))
+        assert counter.outstanding == 0
+
+    def test_interleaved_sync_async(self, system):
+        counter = DistributedCounter(system)
+        counter.request()
+        counter.request()
+        value = counter.next()  # settles the pending ones too
+        assert value in (0, 1, 2)
+        # next() also records its own value, so settle sees all three.
+        assert counter.settle() == [0, 1, 2]
+        assert counter.outstanding == 0
+
+    def test_wire_pinned_requests(self, system):
+        counter = DistributedCounter(system)
+        for _ in range(10):
+            counter.request(wire=0)  # all clients hammer one wire
+        values = counter.settle()
+        assert values == list(range(10))

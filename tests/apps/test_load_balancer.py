@@ -1,0 +1,75 @@
+"""Tests for the load-balancing application (paper Section 1.1)."""
+
+import random
+
+import pytest
+
+from repro.apps.load_balancer import LoadBalancer
+from repro.errors import ProtocolError
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+@pytest.fixture
+def system():
+    system = AdaptiveCountingSystem(width=16, seed=2, initial_nodes=8)
+    system.converge()
+    return system
+
+
+class TestAssignment:
+    def test_all_jobs_assigned(self, system):
+        balancer = LoadBalancer(system, num_servers=4)
+        for i in range(20):
+            balancer.submit("job-%d" % i)
+        loads = balancer.settle()
+        assert sum(loads) == 20
+        assert len(balancer.assignments) == 20
+
+    def test_balance_within_one(self, system):
+        """The step property makes per-server loads differ by <= 1 when
+        the server count divides the width."""
+        balancer = LoadBalancer(system, num_servers=4)
+        rng = random.Random(1)
+        for i in range(57):
+            balancer.submit("job-%d" % i, wire=rng.randrange(16))
+        balancer.settle()
+        assert balancer.imbalance() <= 1
+
+    def test_balance_despite_skewed_clients(self, system):
+        """Every job from one client on one wire — still balanced."""
+        balancer = LoadBalancer(system, num_servers=8)
+        for i in range(41):
+            balancer.submit("job-%d" % i, wire=0)
+        balancer.settle()
+        assert balancer.imbalance() <= 1
+
+    def test_callback_invoked(self, system):
+        balancer = LoadBalancer(system, num_servers=2)
+        assigned = []
+        balancer.submit("special", on_assigned=lambda name, s: assigned.append((name, s)))
+        balancer.settle()
+        assert len(assigned) == 1
+        assert assigned[0][0] == "special"
+        assert assigned[0][1] in (0, 1)
+
+    def test_server_count_validation(self, system):
+        with pytest.raises(ProtocolError):
+            LoadBalancer(system, num_servers=0)
+        with pytest.raises(ProtocolError):
+            LoadBalancer(system, num_servers=17)
+
+    def test_defaults_to_width_servers(self, system):
+        balancer = LoadBalancer(system)
+        assert balancer.num_servers == 16
+
+    def test_balance_survives_membership_churn(self, system):
+        balancer = LoadBalancer(system, num_servers=4)
+        for i in range(20):
+            balancer.submit("a-%d" % i)
+        for _ in range(10):
+            system.add_node()
+        system.converge()
+        for i in range(23):
+            balancer.submit("b-%d" % i)
+        balancer.settle()
+        assert balancer.imbalance() <= 1

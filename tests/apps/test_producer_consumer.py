@@ -1,0 +1,78 @@
+"""Tests for producer-consumer matching (paper Section 1.1, AHS94)."""
+
+import random
+
+import pytest
+
+from repro.apps.producer_consumer import ProducerConsumerMatcher
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def build_matcher(seed):
+    supply = AdaptiveCountingSystem(width=8, seed=seed, initial_nodes=5)
+    supply.converge()
+    request = AdaptiveCountingSystem(width=8, seed=seed + 100, initial_nodes=5)
+    request.converge()
+    return ProducerConsumerMatcher(supply, request)
+
+
+class TestMatching:
+    def test_equal_supply_and_demand(self):
+        matcher = build_matcher(1)
+        for i in range(20):
+            matcher.offer("p%d" % i)
+            matcher.request("c%d" % i)
+        matches, supply_left, requests_left = matcher.settle()
+        assert (matches, supply_left, requests_left) == (20, 0, 0)
+
+    def test_excess_supply_waits(self):
+        matcher = build_matcher(2)
+        for i in range(15):
+            matcher.offer("p%d" % i)
+        for i in range(10):
+            matcher.request("c%d" % i)
+        matches, supply_left, requests_left = matcher.settle()
+        assert (matches, supply_left, requests_left) == (10, 5, 0)
+
+    def test_excess_demand_waits_then_matches(self):
+        matcher = build_matcher(3)
+        for i in range(12):
+            matcher.request("c%d" % i)
+        matches, supply_left, requests_left = matcher.settle()
+        assert (matches, supply_left, requests_left) == (0, 0, 12)
+        for i in range(12):
+            matcher.offer("p%d" % i)
+        matches, supply_left, requests_left = matcher.settle()
+        assert (matches, supply_left, requests_left) == (12, 0, 0)
+
+    def test_each_request_matched_exactly_once(self):
+        matcher = build_matcher(4)
+        rng = random.Random(5)
+        producers = ["p%d" % i for i in range(30)]
+        consumers = ["c%d" % i for i in range(30)]
+        ops = [("offer", p) for p in producers] + [("request", c) for c in consumers]
+        rng.shuffle(ops)
+        for kind, name in ops:
+            if kind == "offer":
+                matcher.offer(name)
+            else:
+                matcher.request(name)
+        matches, supply_left, requests_left = matcher.settle()
+        assert (matches, supply_left, requests_left) == (30, 0, 0)
+        matched_producers = [m.producer for m in matcher.matches]
+        matched_consumers = [m.consumer for m in matcher.matches]
+        assert sorted(matched_producers) == sorted(producers)
+        assert sorted(matched_consumers) == sorted(consumers)
+
+    def test_ranks_are_consecutive(self):
+        matcher = build_matcher(6)
+        for i in range(10):
+            matcher.offer("p%d" % i)
+            matcher.request("c%d" % i)
+        matcher.settle()
+        assert sorted(m.rank for m in matcher.matches) == list(range(10))
+
+    def test_same_system_rejected(self):
+        system = AdaptiveCountingSystem(width=8, seed=7)
+        with pytest.raises(ValueError):
+            ProducerConsumerMatcher(system, system)

@@ -1,0 +1,98 @@
+"""Tests for system-size estimation (paper Section 3.1, Lemmas 3.1-3.3)."""
+
+import pytest
+
+from repro.chord.estimation import LevelEstimator, SizeEstimator
+from repro.chord.ring import ChordRing
+from repro.errors import RingError
+
+
+def build_ring(n, seed):
+    ring = ChordRing(seed=seed)
+    for _ in range(n):
+        ring.join()
+    return ring
+
+
+class TestSizeEstimator:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(RingError):
+            SizeEstimator(ChordRing(seed=0)).estimate(0)
+
+    def test_single_node(self):
+        ring = ChordRing(seed=1)
+        node = ring.join()
+        estimate = SizeEstimator(ring).estimate(node.node_id)
+        assert estimate.size_estimate == 1.0
+
+    def test_small_ring_exact(self):
+        """When the walk wraps, the node counts exactly."""
+        ring = build_ring(3, seed=2)
+        estimator = SizeEstimator(ring)
+        for node in ring.nodes():
+            est = estimator.estimate(node.node_id)
+            if est.steps == len(ring) - 1:
+                assert est.size_estimate == 3.0
+
+    def test_step_multiplier_validation(self):
+        ring = build_ring(4, seed=3)
+        with pytest.raises(RingError):
+            SizeEstimator(ring, step_multiplier=0)
+
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_lemma32_all_estimates_within_factor_10(self, n):
+        """Lemma 3.2: w.h.p. every node's estimate is in [N/10, 10N]."""
+        ring = build_ring(n, seed=n)
+        estimator = SizeEstimator(ring)
+        for node in ring.nodes():
+            estimate = estimator.size_estimate(node.node_id)
+            assert n / 10 <= estimate <= 10 * n
+
+    def test_estimates_tighten_with_multiplier(self):
+        """More successor steps give lower estimate spread (ablation)."""
+        n = 512
+        ring = build_ring(n, seed=77)
+        spreads = []
+        for multiplier in (1, 4, 16):
+            estimator = SizeEstimator(ring, step_multiplier=multiplier)
+            values = [estimator.size_estimate(v.node_id) for v in ring.nodes()]
+            spreads.append(max(values) / min(values))
+        assert spreads[2] < spreads[0]
+
+
+class TestLevelEstimator:
+    def test_ideal_level_matches_phi(self):
+        ring = build_ring(100, seed=4)
+        levels = LevelEstimator(1024, ring)
+        # phi: 1, 6, 24, 80, 240, ... ; largest k with phi(k) < 100 is 3.
+        assert levels.ideal_level(100) == 3
+        assert levels.ideal_level(80) == 2
+        assert levels.ideal_level(7) == 1
+        assert levels.ideal_level(1) == 0
+
+    def test_ideal_level_boundary(self):
+        """phi(1) = 6, so N = 6 still yields ell* = 0 (strict <) and
+        N = 7 is the first size with ell* = 1."""
+        ring = build_ring(2, seed=5)
+        levels = LevelEstimator(1024, ring)
+        assert levels.ideal_level(6) == 0
+        assert levels.ideal_level(7) == 1
+        assert levels.ideal_level(24) == 1
+        assert levels.ideal_level(25) == 2
+
+    @pytest.mark.parametrize("n", [50, 300, 2000])
+    def test_lemma33_levels_within_window(self, n):
+        """Lemma 3.3: all level estimates in [ell*-4, ell*+4] w.h.p."""
+        ring = build_ring(n, seed=n + 1)
+        levels = LevelEstimator(1 << 14, ring)
+        star = levels.ideal_level()
+        for node in ring.nodes():
+            level = levels.level_estimate(node.node_id)
+            assert star - 4 <= level <= star + 4
+
+    def test_levels_clamped_to_tree(self):
+        """A huge system with a small width saturates at the max level."""
+        ring = build_ring(2000, seed=6)
+        levels = LevelEstimator(8, ring)  # T_8 has max level 2
+        for node in ring.nodes()[:50]:
+            assert levels.level_estimate(node.node_id) <= 2

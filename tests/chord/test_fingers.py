@@ -1,0 +1,90 @@
+"""Tests for finger tables and greedy lookup (paper Section 1.4)."""
+
+import math
+import random
+
+import pytest
+
+from repro.chord.fingers import finger_table, lookup, lookup_name
+from repro.chord.hashing import home_node, name_to_point
+from repro.chord.ring import ChordRing
+from repro.errors import RingError
+
+
+@pytest.fixture
+def ring():
+    ring = ChordRing(seed=7)
+    for _ in range(128):
+        ring.join()
+    return ring
+
+
+class TestFingerTable:
+    def test_finger_count(self, ring):
+        node = ring.nodes()[0]
+        assert len(finger_table(ring, node.node_id)) == ring.space.bits
+
+    def test_first_finger_is_successor(self, ring):
+        node = ring.nodes()[5]
+        fingers = finger_table(ring, node.node_id)
+        assert fingers[0] is ring.successor((node.node_id + 1) % ring.space.size)
+
+    def test_fingers_are_successors_of_powers(self, ring):
+        node = ring.nodes()[3]
+        fingers = finger_table(ring, node.node_id)
+        for i in (0, 10, 30, 63):
+            point = (node.node_id + (1 << i)) % ring.space.size
+            assert fingers[i] is ring.successor(point)
+
+
+class TestLookup:
+    def test_lookup_finds_owner(self, ring):
+        rng = random.Random(1)
+        nodes = ring.nodes()
+        for i in range(200):
+            start = rng.choice(nodes)
+            name = "key-%d" % i
+            owner, hops = lookup_name(ring, start.node_id, name)
+            assert owner is home_node(ring, name)
+            assert hops >= 0
+
+    def test_lookup_own_key_zero_hops(self, ring):
+        node = ring.nodes()[0]
+        owner, hops = lookup(ring, node.node_id, node.node_id)
+        assert owner is node
+        assert hops == 0
+
+    def test_hops_logarithmic(self, ring):
+        rng = random.Random(2)
+        nodes = ring.nodes()
+        hops = []
+        for i in range(300):
+            start = rng.choice(nodes)
+            _owner, h = lookup_name(ring, start.node_id, "key-%d" % i)
+            hops.append(h)
+        mean_hops = sum(hops) / len(hops)
+        # Chord's expected ~ (1/2) log2 N; allow generous slack.
+        assert mean_hops <= math.log2(len(ring)) + 1
+        assert max(hops) <= 2 * math.log2(len(ring)) + 4
+
+    def test_single_node_ring(self):
+        ring = ChordRing(seed=9)
+        node = ring.join()
+        owner, hops = lookup_name(ring, node.node_id, "anything")
+        assert owner is node
+        assert hops == 0
+
+    def test_two_node_ring(self):
+        ring = ChordRing(seed=10)
+        a = ring.join(node_id=100)
+        b = ring.join(node_id=1 << 60)
+        for key in ("x", "y", "z", "w"):
+            owner, _ = lookup_name(ring, a.node_id, key)
+            assert owner is home_node(ring, key)
+            owner, _ = lookup_name(ring, b.node_id, key)
+            assert owner is home_node(ring, key)
+
+    def test_empty_ring_rejected(self):
+        ring = ChordRing(seed=11)
+        with pytest.raises(RingError):
+            lookup(ring, 0, 0)

@@ -1,0 +1,61 @@
+"""Tests for consistent hashing of component names."""
+
+from repro.chord.hashing import home_node, name_to_point
+from repro.chord.identifiers import IdentifierSpace
+from repro.chord.ring import ChordRing
+
+
+class TestNameToPoint:
+    def test_deterministic(self):
+        space = IdentifierSpace(32)
+        assert name_to_point("cn/8/0", space) == name_to_point("cn/8/0", space)
+
+    def test_in_range(self):
+        space = IdentifierSpace(16)
+        for i in range(100):
+            assert 0 <= name_to_point("obj-%d" % i, space) < space.size
+
+    def test_names_spread(self):
+        """Hash points should not collide for distinct component names."""
+        space = IdentifierSpace(64)
+        points = {name_to_point("cn/64/%d" % i, space) for i in range(500)}
+        assert len(points) == 500
+
+
+class TestHomeNode:
+    def test_home_is_successor_of_point(self):
+        ring = ChordRing(seed=3)
+        for _ in range(50):
+            ring.join()
+        for i in range(40):
+            name = "cn/16/%d" % i
+            home = home_node(ring, name)
+            assert home is ring.successor(name_to_point(name, ring.space))
+
+    def test_consistency_under_join(self):
+        """Adding a node only moves objects onto the new node."""
+        ring = ChordRing(seed=4)
+        for _ in range(30):
+            ring.join()
+        names = ["obj-%d" % i for i in range(200)]
+        before = {name: home_node(ring, name).node_id for name in names}
+        newcomer = ring.join()
+        after = {name: home_node(ring, name).node_id for name in names}
+        for name in names:
+            if before[name] != after[name]:
+                assert after[name] == newcomer.node_id
+
+    def test_consistency_under_leave(self):
+        """Removing a node only moves its objects to its successor."""
+        ring = ChordRing(seed=5)
+        nodes = [ring.join() for _ in range(30)]
+        names = ["obj-%d" % i for i in range(200)]
+        before = {name: home_node(ring, name).node_id for name in names}
+        victim = nodes[7]
+        successor = ring.succ_k(victim.node_id, 1)
+        ring.remove(victim.node_id)
+        after = {name: home_node(ring, name).node_id for name in names}
+        for name in names:
+            if before[name] != after[name]:
+                assert before[name] == victim.node_id
+                assert after[name] == successor.node_id

@@ -1,0 +1,56 @@
+"""Tests for the Chord identifier space (paper Section 1.4)."""
+
+import random
+
+import pytest
+
+from repro.chord.identifiers import IdentifierSpace
+from repro.errors import RingError
+
+
+class TestIdentifierSpace:
+    def test_size(self):
+        assert IdentifierSpace(8).size == 256
+        assert IdentifierSpace().size == 1 << 64
+
+    def test_too_small_rejected(self):
+        with pytest.raises(RingError):
+            IdentifierSpace(4)
+
+    def test_check_bounds(self):
+        space = IdentifierSpace(8)
+        assert space.check(0) == 0
+        assert space.check(255) == 255
+        with pytest.raises(RingError):
+            space.check(256)
+        with pytest.raises(RingError):
+            space.check(-1)
+
+    def test_random_ids_in_range_and_seeded(self):
+        space = IdentifierSpace(16)
+        a = [space.random_id(random.Random(1)) for _ in range(5)]
+        b = [space.random_id(random.Random(1)) for _ in range(5)]
+        assert a == b
+        assert all(0 <= x < space.size for x in a)
+
+    def test_clockwise_distance(self):
+        space = IdentifierSpace(8)
+        assert space.clockwise_distance(10, 20) == 10
+        assert space.clockwise_distance(20, 10) == 246  # wraps
+        assert space.clockwise_distance(7, 7) == 0
+
+    def test_distance_fraction(self):
+        space = IdentifierSpace(8)
+        assert space.distance_fraction(0, 128) == 0.5
+        assert space.distance_fraction(128, 0) == 0.5
+        assert space.distance_fraction(0, 64) == 0.25
+
+    def test_distances_asymmetric_sum_to_one(self):
+        space = IdentifierSpace(16)
+        rng = random.Random(2)
+        for _ in range(50):
+            a, b = space.random_id(rng), space.random_id(rng)
+            if a == b:
+                continue
+            total = space.distance_fraction(a, b) + space.distance_fraction(b, a)
+            assert abs(total - 1.0) < 1e-12

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the Chord substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.estimation import SizeEstimator
+from repro.chord.fingers import lookup_name
+from repro.chord.hashing import home_node, name_to_point
+from repro.chord.identifiers import IdentifierSpace
+from repro.chord.ring import ChordRing
+
+
+class TestIdentifierProperties:
+    @given(st.integers(0, 2 ** 16 - 1), st.integers(0, 2 ** 16 - 1))
+    def test_distance_antisymmetry(self, a, b):
+        space = IdentifierSpace(16)
+        forward = space.clockwise_distance(a, b)
+        backward = space.clockwise_distance(b, a)
+        if a == b:
+            assert forward == backward == 0
+        else:
+            assert forward + backward == space.size
+
+    @given(
+        st.integers(0, 2 ** 16 - 1),
+        st.integers(0, 2 ** 16 - 1),
+        st.integers(0, 2 ** 16 - 1),
+    )
+    def test_distance_triangle_along_ring(self, a, b, c):
+        """Going a->b->c clockwise equals a->c mod the circle."""
+        space = IdentifierSpace(16)
+        combined = (
+            space.clockwise_distance(a, b) + space.clockwise_distance(b, c)
+        ) % space.size
+        assert combined == space.clockwise_distance(a, c)
+
+
+class TestRingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 64), st.integers(0, 10 ** 6))
+    def test_successor_chain_is_a_cycle(self, n, seed):
+        ring = ChordRing(seed=seed)
+        for _ in range(n):
+            ring.join()
+        start = ring.nodes()[0].node_id
+        current = start
+        seen = set()
+        for _ in range(n):
+            seen.add(current)
+            current = ring.succ_k(current, 1).node_id
+        assert current == start
+        assert len(seen) == n
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 48), st.integers(0, 10 ** 6), st.integers(0, 10 ** 6))
+    def test_lookup_agrees_with_home(self, n, seed, key_seed):
+        ring = ChordRing(seed=seed)
+        for _ in range(n):
+            ring.join()
+        rng = random.Random(key_seed)
+        name = "key-%d" % rng.randrange(10 ** 9)
+        start = rng.choice(ring.nodes())
+        owner, hops = lookup_name(ring, start.node_id, name)
+        assert owner is home_node(ring, name)
+        assert 0 <= hops <= n
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 40), st.integers(0, 10 ** 6))
+    def test_leave_moves_keys_only_to_successor(self, n, seed):
+        ring = ChordRing(seed=seed)
+        nodes = [ring.join() for _ in range(n)]
+        names = ["obj-%d" % i for i in range(80)]
+        before = {name: home_node(ring, name).node_id for name in names}
+        victim = nodes[n // 2]
+        successor = ring.succ_k(victim.node_id, 1)
+        ring.remove(victim.node_id)
+        for name in names:
+            after = home_node(ring, name).node_id
+            if after != before[name]:
+                assert before[name] == victim.node_id
+                assert after == successor.node_id
+
+
+class TestEstimationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(16, 512), st.integers(0, 10 ** 6))
+    def test_estimates_positive_and_windowed(self, n, seed):
+        ring = ChordRing(seed=seed)
+        for _ in range(n):
+            ring.join()
+        estimator = SizeEstimator(ring)
+        rng = random.Random(seed)
+        for node in rng.sample(ring.nodes(), min(10, n)):
+            estimate = estimator.size_estimate(node.node_id)
+            assert estimate > 0
+            # the w.h.p. window, which in practice never fails
+            assert n / 10 <= estimate <= 10 * n
+
+    @given(st.text(min_size=1, max_size=40))
+    def test_hash_deterministic_and_in_range(self, name):
+        space = IdentifierSpace(64)
+        point = name_to_point(name, space)
+        assert point == name_to_point(name, space)
+        assert 0 <= point < space.size

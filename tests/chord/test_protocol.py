@@ -1,0 +1,162 @@
+"""Tests for the live Chord maintenance protocol."""
+
+import math
+import random
+
+import pytest
+
+from repro.chord.protocol import ChordProtocolNetwork
+from repro.errors import RingError
+
+
+def build_converged(n, seed=0, rounds=None):
+    network = ChordProtocolNetwork(seed=seed)
+    first = network.create_first()
+    for _ in range(n - 1):
+        bootstrap = network.rng.choice(sorted(network.nodes))
+        network.join(bootstrap)
+        network.run_rounds(2)
+    network.run_rounds(rounds if rounds is not None else 6)
+    return network
+
+
+class TestBootstrap:
+    def test_single_node_self_loop(self):
+        network = ChordProtocolNetwork(seed=1)
+        node = network.create_first()
+        assert node.successor == node.node_id
+        network.run_rounds(2)
+        assert network.is_converged()
+
+    def test_double_bootstrap_rejected(self):
+        network = ChordProtocolNetwork(seed=2)
+        network.create_first()
+        with pytest.raises(RingError):
+            network.create_first()
+
+    def test_join_through_any_node(self):
+        network = ChordProtocolNetwork(seed=3)
+        first = network.create_first()
+        network.join(first.node_id)
+        network.run_rounds(4)
+        assert len(network.nodes) == 2
+        assert network.is_converged()
+        assert network.converged_predecessors()
+
+    def test_join_through_dead_node_rejected(self):
+        network = ChordProtocolNetwork(seed=4)
+        first = network.create_first()
+        network.join(first.node_id)
+        network.run_rounds(3)
+        victim = sorted(network.nodes)[0]
+        network.crash(victim)
+        with pytest.raises(RingError):
+            network.join(victim)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n", [4, 16, 32])
+    def test_ring_converges(self, n):
+        network = build_converged(n, seed=n)
+        assert network.is_converged()
+        assert network.converged_predecessors()
+
+    def test_successor_lists_populated(self):
+        network = build_converged(16, seed=5)
+        for node in network.nodes.values():
+            assert len(node.successors) >= 2
+            # list entries are live distinct nodes
+            assert len(set(node.successors)) == len(node.successors)
+
+    def test_fingers_eventually_correct(self):
+        network = build_converged(16, seed=6)
+        # run extra rounds so each node fixes many fingers
+        network.run_rounds(70)
+        wrong = 0
+        checked = 0
+        for node in network.nodes.values():
+            for index, finger in enumerate(node.fingers):
+                if finger is None:
+                    continue
+                key = (node.node_id + (1 << index)) % network.space.size
+                ring = network.true_ring()
+                import bisect
+
+                position = bisect.bisect_left(ring, key)
+                expected = ring[position % len(ring)]
+                checked += 1
+                if finger != expected:
+                    wrong += 1
+        assert checked > 0
+        assert wrong == 0
+
+
+class TestLookup:
+    def test_lookup_correct_after_convergence(self):
+        network = build_converged(24, seed=7)
+        network.run_rounds(60)  # warm fingers
+        rng = random.Random(8)
+        ring = network.true_ring()
+        import bisect
+
+        for _ in range(50):
+            key = network.space.random_id(rng)
+            start = rng.choice(ring)
+            owner, hops = network.lookup(start, key)
+            position = bisect.bisect_left(ring, key)
+            assert owner == ring[position % len(ring)]
+            assert hops <= 2 * math.log2(len(ring)) + 6
+
+    def test_lookup_own_interval_zero_hops(self):
+        network = build_converged(8, seed=9)
+        node_id = network.true_ring()[0]
+        succ = network.true_successor(node_id)
+        owner, hops = network.lookup(node_id, succ)
+        assert owner == succ
+        assert hops == 0
+
+
+class TestFailures:
+    def test_ring_heals_after_crash(self):
+        network = build_converged(12, seed=10)
+        victim = network.true_ring()[3]
+        network.crash(victim)
+        network.run_rounds(10)
+        assert network.is_converged()
+
+    def test_multiple_crashes_within_successor_list(self):
+        network = build_converged(16, seed=11)
+        ring = network.true_ring()
+        # crash two adjacent nodes: successor lists must bridge the gap
+        for victim in (ring[4], ring[5]):
+            network.crash(victim)
+        network.run_rounds(12)
+        assert network.is_converged()
+
+    def test_lookup_routes_around_failures(self):
+        network = build_converged(16, seed=12)
+        network.run_rounds(40)
+        victim = network.true_ring()[2]
+        network.crash(victim)
+        network.run_rounds(8)
+        rng = random.Random(13)
+        ring = network.true_ring()
+        import bisect
+
+        for _ in range(20):
+            key = network.space.random_id(rng)
+            owner, _hops = network.lookup(rng.choice(ring), key)
+            position = bisect.bisect_left(ring, key)
+            assert owner == ring[position % len(ring)]
+
+    def test_churn_then_convergence(self):
+        network = build_converged(10, seed=14)
+        rng = random.Random(15)
+        for _ in range(10):
+            if rng.random() < 0.6 or len(network.nodes) < 4:
+                network.join(rng.choice(sorted(network.nodes)))
+            else:
+                network.crash(rng.choice(sorted(network.nodes)))
+            network.run_rounds(3)
+        network.run_rounds(15)
+        assert network.is_converged()

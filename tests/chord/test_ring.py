@@ -1,0 +1,89 @@
+"""Tests for the Chord ring membership structure."""
+
+import pytest
+
+from repro.chord.identifiers import IdentifierSpace
+from repro.chord.ring import ChordRing
+from repro.errors import MembershipError, RingError
+
+
+@pytest.fixture
+def ring():
+    return ChordRing(IdentifierSpace(16), seed=1)
+
+
+class TestMembership:
+    def test_join_assigns_random_ids(self, ring):
+        nodes = [ring.join() for _ in range(10)]
+        assert len(ring) == 10
+        assert len({n.node_id for n in nodes}) == 10
+
+    def test_join_with_forced_id(self, ring):
+        node = ring.join("fixed", node_id=1234)
+        assert node.node_id == 1234
+        with pytest.raises(MembershipError):
+            ring.join("dup", node_id=1234)
+
+    def test_nodes_sorted(self, ring):
+        for _ in range(20):
+            ring.join()
+        ids = [n.node_id for n in ring.nodes()]
+        assert ids == sorted(ids)
+
+    def test_remove(self, ring):
+        node = ring.join()
+        ring.join()
+        removed = ring.remove(node.node_id)
+        assert removed is node
+        assert not ring.has_node(node.node_id)
+        with pytest.raises(MembershipError):
+            ring.remove(node.node_id)
+
+    def test_node_lookup_error(self, ring):
+        with pytest.raises(MembershipError):
+            ring.node(42)
+
+
+class TestSuccessors:
+    def test_empty_ring_errors(self, ring):
+        with pytest.raises(RingError):
+            ring.successor(0)
+
+    def test_successor_basic(self, ring):
+        a = ring.join(node_id=100)
+        b = ring.join(node_id=200)
+        assert ring.successor(50) is a
+        assert ring.successor(100) is a  # at-or-after
+        assert ring.successor(150) is b
+        assert ring.successor(201) is a  # wraps around
+
+    def test_succ_k_ordering_and_wrap(self, ring):
+        ids = [100, 200, 300, 400]
+        nodes = {i: ring.join(node_id=i) for i in ids}
+        assert ring.succ_k(100, 1) is nodes[200]
+        assert ring.succ_k(100, 3) is nodes[400]
+        assert ring.succ_k(300, 2) is nodes[100]  # wraps
+        assert ring.succ_k(100, 4) is nodes[100]  # full lap
+
+    def test_succ_k_validation(self, ring):
+        ring.join(node_id=100)
+        with pytest.raises(RingError):
+            ring.succ_k(100, 0)
+        with pytest.raises(MembershipError):
+            ring.succ_k(99, 1)
+
+    def test_predecessor(self, ring):
+        ring.join(node_id=100)
+        ring.join(node_id=200)
+        assert ring.predecessor(200).node_id == 100
+        assert ring.predecessor(100).node_id == 200  # wraps
+
+    def test_successor_chain_visits_all(self, ring):
+        nodes = [ring.join() for _ in range(12)]
+        start = nodes[0].node_id
+        seen = {start}
+        current = start
+        for _ in range(11):
+            current = ring.succ_k(current, 1).node_id
+            seen.add(current)
+        assert len(seen) == 12

@@ -1,0 +1,93 @@
+"""Tests for the balancer-level network model (paper Section 1.1)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.network import BalancingNetwork, parallel_layers
+from repro.errors import StructureError
+
+
+class TestConstruction:
+    def test_single_balancer(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        assert net.depth == 1
+        assert net.num_balancers == 1
+
+    def test_bad_output_order(self):
+        with pytest.raises(StructureError):
+            BalancingNetwork(2, [[(0, 1)]], [0, 0])
+
+    def test_wire_reuse_in_layer(self):
+        with pytest.raises(StructureError):
+            BalancingNetwork(3, [[(0, 1), (1, 2)]], [0, 1, 2])
+
+    def test_wire_out_of_range(self):
+        with pytest.raises(StructureError):
+            BalancingNetwork(2, [[(0, 2)]], [0, 1])
+
+
+class TestBalancerSemantics:
+    def test_single_balancer_alternates(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        exits = [net.feed_token(0) for _ in range(4)]
+        assert exits == [0, 1, 0, 1]
+
+    def test_balancer_state_persists_across_batches(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        assert net.feed_counts([1, 0]) == [1, 0]
+        assert net.feed_counts([1, 0]) == [0, 1]  # toggle remembered
+        assert net.output_counts == [1, 1]
+
+    def test_output_permutation_applied(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [1, 0])
+        assert net.feed_token(0) == 1  # exits wire 0, which is output 1
+
+    def test_reset(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        net.feed_counts([3, 2])
+        net.reset()
+        assert net.output_counts == [0, 0]
+        assert net.feed_token(0) == 0
+
+    def test_token_batch_equivalence(self):
+        rng = random.Random(0)
+        layers = [[(0, 1), (2, 3)], [(0, 2), (1, 3)], [(1, 2)]]
+        token_net = BalancingNetwork(4, layers, [0, 1, 2, 3])
+        batch_net = BalancingNetwork(4, layers, [0, 1, 2, 3])
+        wires = [rng.randrange(4) for _ in range(60)]
+        for wire in wires:
+            token_net.feed_token(wire)
+        histogram = Counter(wires)
+        batch_net.feed_counts([histogram.get(i, 0) for i in range(4)])
+        assert token_net.output_counts == batch_net.output_counts
+
+    def test_input_validation(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        with pytest.raises(StructureError):
+            net.feed_token(2)
+        with pytest.raises(StructureError):
+            net.feed_counts([1])
+
+
+class TestComparatorView:
+    def test_single_comparator_sorts(self):
+        net = BalancingNetwork(2, [[(0, 1)]], [0, 1])
+        for bits in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            assert net.sorts_01(bits)
+
+    def test_identity_network_does_not_sort(self):
+        net = BalancingNetwork(2, [], [0, 1])
+        assert not net.sorts_01([0, 1])
+
+
+class TestParallelLayers:
+    def test_zip_and_pad(self):
+        a = [[(0, 1)], [(0, 1)]]
+        b = [[(2, 3)]]
+        merged = parallel_layers(a, b)
+        assert merged == [[(0, 1), (2, 3)], [(0, 1)]]
+
+    def test_empty(self):
+        assert parallel_layers([], []) == []

@@ -1,0 +1,60 @@
+"""Tests for the periodic counting network baseline (paper Section 1.3)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.periodic import block_layers, periodic_depth, periodic_network
+from repro.core.verification import has_step_property
+from repro.errors import StructureError
+
+
+class TestStructure:
+    def test_block_layer_count(self):
+        assert len(block_layers(8)) == 3
+        assert len(block_layers(16)) == 4
+
+    def test_first_layer_is_reflection(self):
+        layer = block_layers(8)[0]
+        assert (0, 7) in layer and (1, 6) in layer and (3, 4) in layer
+
+    def test_last_layer_is_neighbours(self):
+        layer = block_layers(8)[-1]
+        assert sorted(layer) == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_depth_formula(self):
+        for width in (2, 4, 8, 16):
+            assert periodic_network(width).depth == periodic_depth(width)
+
+    def test_balancer_count(self):
+        # (w/2) log^2 w balancers
+        for width in (4, 8, 16):
+            log_w = width.bit_length() - 1
+            assert periodic_network(width).num_balancers == (width // 2) * log_w * log_w
+
+    def test_invalid_width(self):
+        with pytest.raises(StructureError):
+            periodic_network(3)
+        with pytest.raises(StructureError):
+            block_layers(0)
+
+
+class TestCounting:
+    def test_exhaustive_w4(self):
+        for counts in itertools.product(range(4), repeat=4):
+            net = periodic_network(4)
+            net.feed_counts(list(counts))
+            assert has_step_property(net.output_counts)
+
+    def test_sorting_correspondence_w8(self):
+        for bits in itertools.product((0, 1), repeat=8):
+            assert periodic_network(8).sorts_01(bits)
+
+    def test_random_multibatch(self):
+        rng = random.Random(5)
+        for width in (8, 16):
+            net = periodic_network(width)
+            for _ in range(100):
+                net.feed_counts([rng.randint(0, 4) for _ in range(width)])
+                assert has_step_property(net.output_counts)

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These hammer the invariants DESIGN.md Section 5 commits to:
+the step property under arbitrary workloads, cuts and reconfiguration
+histories; exact-balance of counter networks; split/merge inversion;
+and the counter arithmetic underlying everything.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import ComponentState, balanced_counts
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+from repro.core.splitmerge import merge_child_states, split_child_states
+from repro.core.verification import (
+    counting_values_ok,
+    has_step_property,
+    step_sequence,
+)
+from repro.core.wiring import Wiring
+
+TREE8 = DecompositionTree(8)
+TREE16 = DecompositionTree(16)
+
+
+@st.composite
+def cut8(draw):
+    seed = draw(st.integers(0, 2 ** 16))
+    probability = draw(st.floats(0.0, 1.0))
+    return Cut.random(TREE8, random.Random(seed), probability)
+
+
+@st.composite
+def workload8(draw):
+    return draw(st.lists(st.integers(0, 8), min_size=8, max_size=8))
+
+
+class TestCounterArithmetic:
+    @given(st.integers(0, 500), st.integers(0, 500), st.sampled_from([2, 4, 8, 16]))
+    def test_balanced_counts_sum_and_spread(self, start, count, width):
+        counts = balanced_counts(start, count, width)
+        assert sum(counts) == count
+        assert max(counts) - min(counts) <= 1
+
+    @given(st.lists(st.integers(0, 7), min_size=0, max_size=60))
+    def test_batch_equals_token_sequence(self, ports):
+        token_state = ComponentState(TREE8.root)
+        batch_state = ComponentState(TREE8.root)
+        per_wire = [0] * 8
+        for port in ports:
+            per_wire[token_state.route_token(port)] += 1
+        histogram = {}
+        for port in ports:
+            histogram[port] = histogram.get(port, 0) + 1
+        assert batch_state.route_batch(histogram) == per_wire
+        assert batch_state.total == token_state.total
+
+    @given(st.integers(0, 200), st.sampled_from([2, 4, 8]))
+    def test_step_sequence_is_canonical_balance(self, total, width):
+        assert step_sequence(total, width) == balanced_counts(0, total, width)
+
+
+class TestTheorem21Property:
+    @settings(max_examples=60, deadline=None)
+    @given(cut8(), st.lists(workload8(), min_size=1, max_size=4))
+    def test_step_property_any_cut_any_workload(self, cut, batches):
+        net = CutNetwork(cut)
+        for batch in batches:
+            net.feed_counts(batch)
+            net.verify_step_property()
+
+    @settings(max_examples=40, deadline=None)
+    @given(cut8(), workload8())
+    def test_outputs_exactly_balanced(self, cut, batch):
+        net = CutNetwork(cut)
+        net.feed_counts(batch)
+        assert net.output_counts == step_sequence(sum(batch), 8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cut8(), st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_token_values_gap_free(self, cut, wires):
+        net = CutNetwork(cut)
+        values = [net.feed_token(w)[1] for w in wires]
+        assert counting_values_ok(values)
+
+
+class TestReconfigurationProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2 ** 16),
+        st.lists(
+            st.tuples(workload8(), st.integers(0, 3), st.booleans()),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_step_property_under_reconfiguration(self, seed, script):
+        rng = random.Random(seed)
+        net = CutNetwork(Cut.singleton(TREE8))
+        for batch, pick, do_split in script:
+            net.feed_counts(batch)
+            paths = sorted(net.states)
+            path = paths[pick % len(paths)]
+            if do_split and not net.states[path].spec.is_leaf:
+                net.split_member(path)
+            elif path:
+                try:
+                    net.merge_member(path[:-1])
+                except Exception:
+                    pass
+            net.feed_counts([rng.randint(0, 3) for _ in range(8)])
+            net.verify_step_property()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from([(), (0,), (2,), (4,)]),
+        st.dictionaries(st.integers(0, 7), st.integers(0, 20), max_size=8),
+    )
+    def test_merge_inverts_split_exactly(self, parent_path, raw_arrivals):
+        parent = TREE16.node(parent_path)
+        wiring = Wiring(TREE16)
+        arrivals = {
+            port: count
+            for port, count in raw_arrivals.items()
+            if count and port < parent.width
+        }
+        children = split_child_states(wiring, parent, arrivals)
+        merged = merge_child_states(wiring, parent, children)
+        assert merged.total == sum(arrivals.values())
+        assert merged.arrivals == arrivals
+
+
+class TestMetricsProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(cut8())
+    def test_metrics_bounds(self, cut):
+        from repro.core import metrics
+
+        net = CutNetwork(cut)
+        m = metrics.measure(net)
+        levels = cut.levels()
+        assert m.effective_depth <= metrics.lemma22_bound(max(levels))
+        assert m.effective_width >= metrics.lemma23_bound(min(levels))
+        assert m.num_components == len(cut)

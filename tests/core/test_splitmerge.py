@@ -1,0 +1,124 @@
+"""Tests for split/merge state transfer (paper Section 2.2)."""
+
+import random
+
+import pytest
+
+from repro.core.components import ComponentState
+from repro.core.cut import Cut, CutNetwork
+from repro.core.decomposition import DecompositionTree
+from repro.core.splitmerge import (
+    merge_child_states,
+    output_boundary_children,
+    split_child_states,
+)
+from repro.core.wiring import Wiring
+from repro.errors import StructureError
+
+
+@pytest.fixture
+def tree16():
+    return DecompositionTree(16)
+
+
+@pytest.fixture
+def wiring16(tree16):
+    return Wiring(tree16)
+
+
+class TestOutputBoundary:
+    def test_bitonic_mix_children(self, tree16, wiring16):
+        assert output_boundary_children(wiring16, tree16.root) == [4, 5]
+
+    def test_merger_mix_children(self, tree16, wiring16):
+        assert output_boundary_children(wiring16, tree16.node((2,))) == [2, 3]
+
+    def test_mix_both_children(self, tree16, wiring16):
+        assert output_boundary_children(wiring16, tree16.node((4,))) == [0, 1]
+
+
+class TestSplitStates:
+    def test_zero_state_splits_to_zero(self, tree16, wiring16):
+        states = split_child_states(wiring16, tree16.root, {})
+        assert all(s.total == 0 and s.arrivals == {} for s in states)
+        assert [s.spec.path for s in states] == [(i,) for i in range(6)]
+
+    def test_conservation(self, tree16, wiring16):
+        """Tokens that entered equal tokens that exited the children."""
+        rng = random.Random(1)
+        for parent_path in [(), (2,), (4,)]:
+            parent = tree16.node(parent_path)
+            for _ in range(20):
+                arrivals = {
+                    port: rng.randint(0, 6)
+                    for port in rng.sample(range(parent.width), 5)
+                }
+                arrivals = {p: c for p, c in arrivals.items() if c}
+                states = split_child_states(wiring16, parent, arrivals)
+                total = sum(arrivals.values())
+                exited = sum(
+                    states[i].total
+                    for i in output_boundary_children(wiring16, parent)
+                )
+                assert exited == total
+                # child arrivals are internally consistent
+                for state in states:
+                    assert state.arrived_total() == state.total
+
+    def test_split_leaf_rejected(self, wiring16):
+        tree4 = DecompositionTree(4)
+        with pytest.raises(StructureError):
+            split_child_states(Wiring(tree4), tree4.node((0,)), {})
+
+    def test_negative_arrivals_rejected(self, tree16, wiring16):
+        with pytest.raises(StructureError):
+            split_child_states(wiring16, tree16.root, {0: -1})
+
+    def test_matches_explicit_simulation(self, tree16, wiring16):
+        """The closed-form replay equals literally feeding the tokens."""
+        rng = random.Random(2)
+        for _ in range(20):
+            arrivals = {port: rng.randint(0, 4) for port in range(16)}
+            arrivals = {p: c for p, c in arrivals.items() if c}
+            states = split_child_states(wiring16, tree16.root, arrivals)
+            # Feed the same per-port counts into a fresh level-1 network.
+            net = CutNetwork(Cut.level(tree16, 1))
+            net.feed_counts([arrivals.get(i, 0) for i in range(16)])
+            for state in states:
+                live = net.states[state.spec.path]
+                assert live.total == state.total
+                assert live.arrivals == state.arrivals
+
+
+class TestMergeStates:
+    def test_merge_inverts_split(self, tree16, wiring16):
+        rng = random.Random(3)
+        for parent_path in [(), (2,), (4,), (0,)]:
+            parent = tree16.node(parent_path)
+            for _ in range(20):
+                arrivals = {
+                    port: rng.randint(0, 5) for port in range(parent.width)
+                }
+                arrivals = {p: c for p, c in arrivals.items() if c}
+                total = sum(arrivals.values())
+                children = split_child_states(wiring16, parent, arrivals)
+                merged = merge_child_states(wiring16, parent, children)
+                assert merged.total == total
+                assert merged.arrivals == arrivals
+
+    def test_merge_wrong_child_count(self, tree16, wiring16):
+        with pytest.raises(StructureError):
+            merge_child_states(wiring16, tree16.root, [])
+
+    def test_merge_wrong_child_specs(self, tree16, wiring16):
+        children = [ComponentState(tree16.node((2,)).child(i)) for i in range(4)]
+        with pytest.raises(StructureError):
+            merge_child_states(wiring16, tree16.root, children + children[:2])
+
+    def test_merge_non_quiescent_rejected(self, tree16, wiring16):
+        """A child claiming departures without arrivals is detected."""
+        parent = tree16.node((4,))  # MIX with two children
+        children = [ComponentState(parent.child(0)), ComponentState(parent.child(1))]
+        children[0].total = 3  # emitted 3 tokens that never arrived
+        with pytest.raises(StructureError):
+            merge_child_states(wiring16, parent, children)

@@ -1,0 +1,73 @@
+"""Tests for the step-property and counting checks (paper Section 1.1)."""
+
+import pytest
+
+from repro.core.verification import (
+    check_step_property,
+    counting_values_ok,
+    has_step_property,
+    is_sorted_01,
+    step_sequence,
+    step_violation,
+)
+from repro.errors import StepPropertyViolation
+
+
+class TestStepProperty:
+    def test_empty_and_single(self):
+        assert has_step_property([])
+        assert has_step_property([7])
+
+    def test_valid_sequences(self):
+        assert has_step_property([3, 3, 3, 3])
+        assert has_step_property([4, 4, 3, 3])
+        assert has_step_property([1, 0, 0, 0])
+        assert has_step_property([5, 5, 5, 4])
+
+    def test_increase_violates(self):
+        assert step_violation([2, 3]) == (0, 1)
+        assert not has_step_property([3, 3, 4, 3])
+
+    def test_spread_violates(self):
+        assert step_violation([3, 2, 1]) is not None
+        assert step_violation([5, 5, 3]) == (0, 2)
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(StepPropertyViolation) as info:
+            check_step_property([1, 0, 1, 0])
+        assert info.value.counts == [1, 0, 1, 0]
+        assert (info.value.i, info.value.j) == (1, 2)
+
+    def test_step_sequence_construction(self):
+        assert step_sequence(0, 4) == [0, 0, 0, 0]
+        assert step_sequence(6, 4) == [2, 2, 1, 1]
+        assert step_sequence(9, 4) == [3, 2, 2, 2]
+
+    def test_step_sequence_is_valid(self):
+        for total in range(30):
+            assert has_step_property(step_sequence(total, 7))
+            assert sum(step_sequence(total, 7)) == total
+
+
+class TestSorted01:
+    def test_sorted(self):
+        assert is_sorted_01([1, 1, 0, 0])
+        assert is_sorted_01([0, 0])
+        assert is_sorted_01([1, 1])
+        assert is_sorted_01([])
+
+    def test_unsorted(self):
+        assert not is_sorted_01([0, 1])
+        assert not is_sorted_01([1, 0, 1])
+
+
+class TestCountingValues:
+    def test_gap_free(self):
+        assert counting_values_ok([2, 0, 1])
+        assert counting_values_ok([])
+
+    def test_duplicate(self):
+        assert not counting_values_ok([0, 1, 1])
+
+    def test_gap(self):
+        assert not counting_values_ok([0, 2])

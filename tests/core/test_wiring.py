@@ -1,0 +1,227 @@
+"""Tests for the hierarchical wiring rules (paper Section 2.1)."""
+
+import pytest
+
+from repro.core.decomposition import ComponentKind, DecompositionTree
+from repro.core.wiring import BoundaryRef, MergerConvention, PortRef, Wiring
+from repro.errors import StructureError
+
+
+@pytest.fixture
+def tree8():
+    return DecompositionTree(8)
+
+
+@pytest.fixture
+def wiring8(tree8):
+    return Wiring(tree8)
+
+
+class TestParentInputDest:
+    def test_bitonic_splits_inputs_top_bottom(self, tree8, wiring8):
+        root = tree8.root
+        for port in range(4):
+            ref = wiring8.parent_input_dest(root, port)
+            assert ref == PortRef(child=0, port=port)
+        for port in range(4, 8):
+            ref = wiring8.parent_input_dest(root, port)
+            assert ref == PortRef(child=1, port=port - 4)
+
+    def test_mix_splits_inputs_top_bottom(self, tree8, wiring8):
+        mix = tree8.root.child(4)  # X[4]
+        assert wiring8.parent_input_dest(mix, 0) == PortRef(0, 0)
+        assert wiring8.parent_input_dest(mix, 1) == PortRef(0, 1)
+        assert wiring8.parent_input_dest(mix, 2) == PortRef(1, 0)
+        assert wiring8.parent_input_dest(mix, 3) == PortRef(1, 1)
+
+    def test_merger_routes_by_parity_ahs94(self, tree8, wiring8):
+        merger = tree8.root.child(2)  # M[4]: x = ports 0,1; y = ports 2,3
+        # even x -> top sub-merger; odd x -> bottom.
+        assert wiring8.parent_input_dest(merger, 0) == PortRef(0, 0)
+        assert wiring8.parent_input_dest(merger, 1) == PortRef(1, 0)
+        # odd y -> top sub-merger; even y -> bottom (AHS94).
+        assert wiring8.parent_input_dest(merger, 2) == PortRef(1, 1)
+        assert wiring8.parent_input_dest(merger, 3) == PortRef(0, 1)
+
+    def test_merger_routes_by_parity_paper(self, tree8):
+        wiring = Wiring(tree8, MergerConvention.PAPER_PROSE)
+        merger = tree8.root.child(2)
+        # the paper's prose sends even y to the TOP sub-merger.
+        assert wiring.parent_input_dest(merger, 2) == PortRef(0, 1)
+        assert wiring.parent_input_dest(merger, 3) == PortRef(1, 1)
+
+    def test_out_of_range_port(self, tree8, wiring8):
+        with pytest.raises(StructureError):
+            wiring8.parent_input_dest(tree8.root, 8)
+
+    def test_inputs_partition_child_ports(self, wiring8):
+        """Each parent's input wiring is a bijection onto child ports."""
+        tree = wiring8.tree
+        for path in [(), (2,), (4,)]:
+            parent = tree.node(path)
+            seen = set()
+            for port in range(parent.width):
+                ref = wiring8.parent_input_dest(parent, port)
+                seen.add((ref.child, ref.port))
+            assert len(seen) == parent.width
+
+
+class TestChildOutputDest:
+    def test_bitonic_child_even_odd(self, tree8, wiring8):
+        root = tree8.root
+        # Top BITONIC child: even out -> top merger, odd -> bottom.
+        assert wiring8.child_output_dest(root, 0, 0) == PortRef(2, 0)
+        assert wiring8.child_output_dest(root, 0, 1) == PortRef(3, 0)
+        assert wiring8.child_output_dest(root, 0, 2) == PortRef(2, 1)
+        # Bottom BITONIC child: odd out -> top merger (AHS94).
+        assert wiring8.child_output_dest(root, 1, 1) == PortRef(2, 2)
+        assert wiring8.child_output_dest(root, 1, 0) == PortRef(3, 2)
+
+    def test_paper_convention_bottom_even_to_top(self, tree8):
+        wiring = Wiring(tree8, MergerConvention.PAPER_PROSE)
+        root = tree8.root
+        assert wiring.child_output_dest(root, 1, 0) == PortRef(2, 2)
+        assert wiring.child_output_dest(root, 1, 1) == PortRef(3, 2)
+
+    def test_merger_to_mix_interleaving(self, tree8, wiring8):
+        root = tree8.root
+        # Top merger port i feeds MIX balancer i's even input.
+        assert wiring8.child_output_dest(root, 2, 0) == PortRef(4, 0)
+        assert wiring8.child_output_dest(root, 2, 1) == PortRef(4, 2)
+        assert wiring8.child_output_dest(root, 2, 2) == PortRef(5, 0)
+        # Bottom merger feeds the odd inputs.
+        assert wiring8.child_output_dest(root, 3, 0) == PortRef(4, 1)
+        assert wiring8.child_output_dest(root, 3, 2) == PortRef(5, 1)
+
+    def test_mix_children_are_boundary(self, tree8, wiring8):
+        root = tree8.root
+        assert wiring8.child_output_dest(root, 4, 0) == BoundaryRef(0)
+        assert wiring8.child_output_dest(root, 4, 3) == BoundaryRef(3)
+        assert wiring8.child_output_dest(root, 5, 0) == BoundaryRef(4)
+        assert wiring8.child_output_dest(root, 5, 3) == BoundaryRef(7)
+
+    def test_outputs_cover_all_targets(self, wiring8):
+        """Child outputs exactly cover sibling inputs + parent outputs."""
+        tree = wiring8.tree
+        for path in [(), (2,), (4,)]:
+            parent = tree.node(path)
+            internal, boundary = set(), set()
+            for child in range(parent.num_children()):
+                for port in range(parent.width // 2):
+                    dest = wiring8.child_output_dest(parent, child, port)
+                    if isinstance(dest, BoundaryRef):
+                        boundary.add(dest.port)
+                    else:
+                        internal.add((dest.child, dest.port))
+            assert boundary == set(range(parent.width))
+            # Internal edges feed the non-input-boundary child ports.
+            fed_by_parent = set()
+            for port in range(parent.width):
+                ref = wiring8.parent_input_dest(parent, port)
+                fed_by_parent.add((ref.child, ref.port))
+            all_ports = {
+                (child, port)
+                for child in range(parent.num_children())
+                for port in range(parent.width // 2)
+            }
+            assert internal == all_ports - fed_by_parent
+
+
+class TestParentInputSource:
+    def test_inverse_of_parent_input_dest(self, wiring8):
+        tree = wiring8.tree
+        for path in [(), (2,), (4,)]:
+            parent = tree.node(path)
+            for port in range(parent.width):
+                ref = wiring8.parent_input_dest(parent, port)
+                back = wiring8.parent_input_source(parent, ref.child, ref.port)
+                assert back == port
+
+    def test_inverse_paper_convention(self, tree8):
+        wiring = Wiring(tree8, MergerConvention.PAPER_PROSE)
+        for path in [(), (2,)]:
+            parent = tree8.node(path)
+            for port in range(parent.width):
+                ref = wiring.parent_input_dest(parent, port)
+                assert wiring.parent_input_source(parent, ref.child, ref.port) == port
+
+    def test_non_boundary_children_return_none(self, tree8, wiring8):
+        root = tree8.root
+        for child in (2, 3, 4, 5):
+            for port in range(4):
+                assert wiring8.parent_input_source(root, child, port) is None
+
+
+class TestGlobalResolution:
+    def test_singleton_cut_wires(self, tree8, wiring8):
+        members = {()}
+        spec, port = wiring8.resolve_network_input(5, members)
+        assert spec.path == () and port == 5
+        assert wiring8.resolve_output(tree8.root, 3, members) == ("out", 3)
+
+    def test_level1_cut_resolution(self, tree8, wiring8):
+        members = {(i,) for i in range(6)}
+        # Input 6 enters the bottom BITONIC child at port 2.
+        spec, port = wiring8.resolve_network_input(6, members)
+        assert spec.path == (1,) and port == 2
+        # Top BITONIC even output crosses into the top MERGER.
+        result = wiring8.resolve_output(tree8.node((0,)), 0, members)
+        assert result[0] == "member"
+        assert result[1].path == (2,) and result[2] == 0
+        # MIX outputs are network outputs.
+        assert wiring8.resolve_output(tree8.node((5,)), 2, members) == ("out", 6)
+
+    def test_mixed_level_cut_resolution(self, tree8):
+        wiring = Wiring(tree8)
+        members = {(0, i) for i in range(6)} | {(1,), (2,), (3,), (4,), (5,)}
+        # Input 0 descends two levels into the split top BITONIC.
+        spec, port = wiring.resolve_network_input(0, members)
+        assert spec.path == (0, 0) and port == 0
+        # The inner MIX's outputs cross out of (0,) into the mergers.
+        result = wiring.resolve_output(tree8.node((0, 4)), 0, members)
+        assert result[0] == "member" and result[1].path == (2,)
+
+    def test_network_output_index(self, tree8, wiring8):
+        members = {(i,) for i in range(6)}
+        assert wiring8.network_output_index(tree8.node((4,)), 1) == 1
+        assert wiring8.network_output_index(tree8.node((5,)), 1) == 5
+        with pytest.raises(StructureError):
+            wiring8.network_output_index(tree8.node((2,)), 0)
+
+    def test_boundary_predicates(self, tree8, wiring8):
+        assert wiring8.is_output_boundary(tree8.node((4,)))
+        assert wiring8.is_output_boundary(tree8.node((4, 0)))
+        assert not wiring8.is_output_boundary(tree8.node((2,)))
+        assert wiring8.is_input_boundary(tree8.node((0,)))
+        assert wiring8.is_input_boundary(tree8.node((0, 1)))
+        assert not wiring8.is_input_boundary(tree8.node((2,)))
+        assert not wiring8.is_input_boundary(tree8.node((0, 2)))
+
+    def test_every_wire_has_unique_destination(self, tree8, wiring8):
+        """For a random-ish cut, member outputs + network inputs exactly
+        cover member inputs + network outputs."""
+        members = {(0,), (1,), (2, 0), (2, 1), (2, 2), (2, 3), (3,), (4,), (5, 0), (5, 1)}
+        inputs_seen = {}
+        for wire in range(8):
+            spec, port = wiring8.resolve_network_input(wire, members)
+            inputs_seen.setdefault((spec.path, port), 0)
+            inputs_seen[(spec.path, port)] += 1
+        outputs_seen = []
+        for path in members:
+            spec = tree8.node(path)
+            for port in range(spec.width):
+                dest = wiring8.resolve_output(spec, port, members)
+                if dest[0] == "member":
+                    key = (dest[1].path, dest[2])
+                    inputs_seen.setdefault(key, 0)
+                    inputs_seen[key] += 1
+                else:
+                    outputs_seen.append(dest[1])
+        # every member input port fed exactly once
+        expected = {
+            (path, port) for path in members for port in range(tree8.node(path).width)
+        }
+        assert set(inputs_seen) == expected
+        assert all(count == 1 for count in inputs_seen.values())
+        # network outputs covered exactly once
+        assert sorted(outputs_seen) == list(range(8))

@@ -1,0 +1,109 @@
+"""Exhaustive wiring invariants for larger widths (both structures).
+
+The single most load-bearing property of the whole reproduction: for
+every internal tree node, the local wiring is a perfect matching —
+parent inputs plus child outputs exactly cover child inputs plus parent
+outputs, once each. Checked exhaustively over every internal node of
+bitonic trees up to width 64 and periodic trees up to width 32, in both
+merger conventions.
+"""
+
+import pytest
+
+from repro.core.decomposition import DecompositionTree
+from repro.core.wiring import BoundaryRef, MergerConvention, PortRef, Wiring
+from repro.ext.periodic_adaptive import PeriodicWiring, periodic_tree
+
+
+def check_local_matching(wiring, parent):
+    """Assert the perfect-matching property at one internal node."""
+    children = parent.children()
+    fed = {}
+    # Parent inputs feed child ports, injectively.
+    for port in range(parent.width):
+        ref = wiring.parent_input_dest(parent, port)
+        key = (ref.child, ref.port)
+        assert key not in fed, "parent input %d collides at %s" % (port, key)
+        assert 0 <= ref.child < len(children)
+        assert 0 <= ref.port < children[ref.child].width
+        fed[key] = ("parent", port)
+        # and the inverse map agrees
+        assert wiring.parent_input_source(parent, ref.child, ref.port) == port
+    # Child outputs feed the rest, or exit.
+    boundary = {}
+    for index, child in enumerate(children):
+        for port in range(child.width):
+            dest = wiring.child_output_dest(parent, index, port)
+            if isinstance(dest, BoundaryRef):
+                assert dest.port not in boundary
+                boundary[dest.port] = (index, port)
+            else:
+                assert isinstance(dest, PortRef)
+                key = (dest.child, dest.port)
+                assert key not in fed, "double-fed child port %s" % (key,)
+                fed[key] = ("sibling", index, port)
+                # internally-fed ports have no parent-input source
+                assert (
+                    wiring.parent_input_source(parent, dest.child, dest.port) is None
+                )
+    # Coverage: every child input port fed exactly once.
+    expected = {
+        (index, port)
+        for index, child in enumerate(children)
+        for port in range(child.width)
+    }
+    assert set(fed) == expected
+    # Coverage: every parent output port produced exactly once.
+    assert set(boundary) == set(range(parent.width))
+
+
+@pytest.mark.parametrize("width", [4, 8, 16, 32, 64])
+@pytest.mark.parametrize(
+    "convention", [MergerConvention.AHS94, MergerConvention.PAPER_PROSE]
+)
+def test_bitonic_local_matching_everywhere(width, convention):
+    tree = DecompositionTree(width)
+    wiring = Wiring(tree, convention)
+    for spec in tree.iter_preorder():
+        if not spec.is_leaf:
+            check_local_matching(wiring, spec)
+
+
+@pytest.mark.parametrize("width", [4, 8, 16, 32])
+def test_periodic_local_matching_everywhere(width):
+    tree = periodic_tree(width)
+    wiring = PeriodicWiring(tree)
+    for spec in tree.iter_preorder():
+        if not spec.is_leaf:
+            check_local_matching(wiring, spec)
+
+
+@pytest.mark.parametrize("width", [8, 16, 32])
+def test_bitonic_network_outputs_partition(width):
+    """Every network output wire is produced by exactly one full-leaf
+    member, and the mapping is a permutation."""
+    tree = DecompositionTree(width)
+    wiring = Wiring(tree)
+    leaves = [s for s in tree.iter_preorder() if s.is_leaf]
+    outputs = []
+    for leaf in leaves:
+        for port in range(2):
+            try:
+                outputs.append(wiring.network_output_index(leaf, port))
+            except Exception:
+                pass  # internal wire
+    assert sorted(outputs) == list(range(width))
+
+
+@pytest.mark.parametrize("width", [8, 16])
+def test_network_inputs_partition(width):
+    """Every network input wire reaches exactly one full-leaf member
+    port; all (member, port) pairs are distinct."""
+    tree = DecompositionTree(width)
+    wiring = Wiring(tree)
+    members = {s.path for s in tree.iter_preorder() if s.is_leaf}
+    seen = set()
+    for wire in range(width):
+        spec, port = wiring.resolve_network_input(wire, members)
+        assert (spec.path, port) not in seen
+        seen.add((spec.path, port))

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the periodic extension."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cut import Cut, CutNetwork
+from repro.core.verification import step_sequence
+from repro.ext.periodic_adaptive import PeriodicWiring, periodic_tree
+
+TREE8 = periodic_tree(8)
+WIRING8 = PeriodicWiring(TREE8)
+
+
+@st.composite
+def periodic_cut8(draw):
+    seed = draw(st.integers(0, 2 ** 16))
+    probability = draw(st.floats(0.0, 1.0))
+    return Cut.random(TREE8, random.Random(seed), probability)
+
+
+class TestPeriodicTheorem21Analogue:
+    @settings(max_examples=50, deadline=None)
+    @given(periodic_cut8(), st.lists(st.integers(0, 6), min_size=8, max_size=8))
+    def test_outputs_exactly_balanced(self, cut, workload):
+        net = CutNetwork(cut, wiring=WIRING8)
+        net.feed_counts(workload)
+        assert net.output_counts == step_sequence(sum(workload), 8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 2 ** 16),
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 4), min_size=8, max_size=8),
+                st.integers(0, 5),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_reconfiguration_preserves_counting(self, seed, script):
+        rng = random.Random(seed)
+        net = CutNetwork(Cut(TREE8, [()]), wiring=WIRING8)
+        for workload, pick, do_split in script:
+            net.feed_counts(workload)
+            paths = sorted(net.states)
+            path = paths[pick % len(paths)]
+            if do_split and not net.states[path].spec.is_leaf:
+                net.split_member(path)
+            elif path:
+                try:
+                    net.merge_member(path[:-1])
+                except Exception:
+                    pass
+            net.feed_counts([rng.randint(0, 3) for _ in range(8)])
+            net.verify_step_property()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from([(), (0,), (0, 0), (1,)]),
+        st.dictionaries(st.integers(0, 7), st.integers(0, 15), max_size=8),
+    )
+    def test_merge_inverts_split(self, parent_path, raw_arrivals):
+        from repro.core.splitmerge import merge_child_states, split_child_states
+
+        tree = periodic_tree(16)
+        wiring = PeriodicWiring(tree)
+        parent = tree.node(parent_path)
+        arrivals = {
+            port: count
+            for port, count in raw_arrivals.items()
+            if count and port < parent.width
+        }
+        children = split_child_states(wiring, parent, arrivals)
+        merged = merge_child_states(wiring, parent, children)
+        assert merged.total == sum(arrivals.values())
+        assert merged.arrivals == arrivals

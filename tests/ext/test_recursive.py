@@ -1,0 +1,87 @@
+"""Tests for the generic recursive-decomposition framework."""
+
+import pytest
+
+from repro.core.cut import Cut
+from repro.errors import StructureError
+from repro.ext.periodic_adaptive import PeriodicStructure, periodic_tree
+from repro.ext.recursive import GenericSpec, GenericTree
+
+
+@pytest.fixture
+def tree():
+    return periodic_tree(8)
+
+
+class TestGenericSpec:
+    def test_root(self, tree):
+        assert tree.root.kind == "P"
+        assert tree.root.width == 8
+        assert tree.root.path == ()
+        assert tree.root.level == 0
+
+    def test_children_kinds_and_widths(self, tree):
+        blocks = tree.root.children()
+        assert [c.kind for c in blocks] == ["B", "B", "B"]
+        assert [c.width for c in blocks] == [8, 8, 8]
+        block_children = blocks[0].children()
+        assert [(c.kind, c.width) for c in block_children] == [
+            ("R", 8),
+            ("B", 4),
+            ("B", 4),
+        ]
+
+    def test_non_uniform_leaf_levels(self, tree):
+        leaves = [s for s in tree.iter_preorder() if s.is_leaf]
+        levels = {s.level for s in leaves}
+        assert len(levels) > 1  # e.g. R[2] under R[8] vs B[2] under B[4]
+
+    def test_child_index_validated(self, tree):
+        with pytest.raises(StructureError):
+            tree.root.child(3)
+
+    def test_equality_ignores_structure_identity(self):
+        a = periodic_tree(8).node((0, 1))
+        b = periodic_tree(8).node((0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_label(self, tree):
+        assert tree.node((0, 0)).label() == "R[8]@0,0"
+
+
+class TestGenericTree:
+    def test_parent_and_ancestors(self, tree):
+        spec = tree.node((1, 0, 1))
+        assert tree.parent(spec) == tree.node((1, 0))
+        assert [a.path for a in tree.ancestors(spec)] == [(1, 0), (1,), ()]
+        assert tree.parent(tree.root) is None
+
+    def test_preorder_visits_everything_once(self, tree):
+        seen = list(tree.iter_preorder())
+        assert len(seen) == len(set(seen)) == tree.size()
+
+    def test_preorder_index(self, tree):
+        assert tree.preorder_index(tree.root) == 0
+        spec = tree.node((0,))
+        assert list(tree.iter_preorder())[tree.preorder_index(spec)] == spec
+        alien = periodic_tree(16).node((0,))
+        with pytest.raises(StructureError):
+            tree.preorder_index(alien)
+
+    def test_max_level(self, tree):
+        # Deepest chain: P[8] -> B[8] -> R[8] -> R[4] -> R[2], level 4
+        # (the B chain bottoms out one level earlier at B[2], level 3).
+        assert tree.max_level == 4
+
+    def test_invalid_width(self):
+        with pytest.raises(StructureError):
+            PeriodicStructure(6)
+
+    def test_cut_machinery_works_generically(self, tree):
+        singleton = Cut(tree, [()])
+        assert len(singleton) == 1
+        leaves = Cut.leaves(tree)
+        assert all(tree.node(p).is_leaf for p in leaves.paths)
+        split_once = singleton.split(())
+        assert len(split_once) == 3  # the three blocks

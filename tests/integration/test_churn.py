@@ -1,0 +1,67 @@
+"""Integration: correctness under sustained churn (paper Section 3.4)."""
+
+import random
+
+from repro.runtime.system import AdaptiveCountingSystem
+from repro.sim.failures import churn_trace, growth_then_shrink
+
+
+class TestChurn:
+    def test_growth_then_shrink_trace(self):
+        system = AdaptiveCountingSystem(width=64, seed=31, initial_nodes=2)
+        trace = growth_then_shrink(grow_to=30, shrink_to=5, start_size=2)
+        retired_target = 0
+        for event in trace:
+            if event.action == "join":
+                system.add_node()
+            else:
+                system.remove_node()
+            if system.num_nodes % 7 == 0:
+                system.converge()
+                for _ in range(5):
+                    system.inject_token()
+                retired_target += 5
+                system.run_until_quiescent()
+        system.converge()
+        system.run_until_quiescent()
+        system.verify()
+        assert system.token_stats.retired == retired_target
+        assert system.stats.splits > 0
+        assert system.stats.merges > 0
+
+    def test_random_churn_with_traffic(self):
+        system = AdaptiveCountingSystem(width=32, seed=32, initial_nodes=10)
+        system.converge()
+        rng = random.Random(33)
+        events = churn_trace(rng, duration=50.0, join_rate=0.4, leave_rate=0.3)
+        issued = 0
+        for event in events:
+            for _ in range(3):
+                system.inject_token()
+                issued += 3 // 3
+            issued += 2  # two more below
+            system.inject_token()
+            system.inject_token()
+            if event.action == "join":
+                system.add_node()
+            elif system.num_nodes > 2:
+                system.remove_node()
+            if rng.random() < 0.3:
+                system.converge()
+        system.converge()
+        system.run_until_quiescent()
+        system.verify()
+        assert system.token_stats.retired == system.token_stats.issued
+
+    def test_interleaved_converge_and_injection(self):
+        """Rules firing while tokens stream — the hard interleaving."""
+        system = AdaptiveCountingSystem(width=32, seed=34, initial_nodes=3)
+        for round_index in range(8):
+            for _ in range(10):
+                system.inject_token()
+            for _ in range(4):
+                system.add_node()
+            system.converge()  # splits happen with tokens in flight
+        system.run_until_quiescent()
+        system.verify()
+        assert system.token_stats.retired == 80

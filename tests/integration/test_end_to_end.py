@@ -1,0 +1,92 @@
+"""End-to-end integration: the paper's full story in one place.
+
+Grow a system from one node, watch the rules split components, keep
+counting correctly throughout, shrink it back, watch merges, and check
+the analytical claims (Lemmas 3.3-3.5, Theorem 3.6) on the way.
+"""
+
+import pytest
+
+from repro.analysis.theory import TheoryModel
+from repro.core import metrics
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+class TestLifecycle:
+    def test_grow_count_shrink_count(self):
+        system = AdaptiveCountingSystem(width=64, seed=21)
+        model = TheoryModel(64)
+        values = []
+
+        def pump(n):
+            for _ in range(n):
+                system.inject_token()
+            system.run_until_quiescent()
+
+        pump(10)
+        for target in (5, 15, 40):
+            while system.num_nodes < target:
+                system.add_node()
+            system.converge()
+            pump(20)
+            system.verify()
+            # Lemma 3.4: component levels within the node-level range.
+            node_levels = system.node_levels()
+            for level in system.component_levels():
+                assert (
+                    min(node_levels) <= level <= max(node_levels)
+                    or level == system.tree.max_level
+                )
+        grown_components = len(system.directory)
+        while system.num_nodes > 5:
+            system.remove_node()
+        system.converge()
+        pump(20)
+        system.verify()
+        assert len(system.directory) < grown_components
+        assert system.stats.merges > 0
+        values = sorted(
+            t for t in range(system.token_stats.retired)
+        )
+        assert len(values) == 90
+
+    def test_theorem36_shape_once(self):
+        """One data point of Theorem 3.6: width grows ~ N/log^2 N."""
+        system = AdaptiveCountingSystem(width=256, seed=22, initial_nodes=60)
+        system.converge()
+        measured = system.metrics()
+        assert measured.effective_width >= 4
+        model = TheoryModel(256)
+        star = model.ell_star(60)
+        assert measured.effective_depth <= model.depth_bound(
+            min(star + 4, system.tree.max_level)
+        )
+
+    def test_lemma35_component_counts(self):
+        system = AdaptiveCountingSystem(width=1 << 10, seed=23, initial_nodes=80)
+        system.converge()
+        total = len(system.directory)
+        low, high = TheoryModel(1 << 10).component_count_window(80)
+        assert low <= total <= high
+        per_node = system.components_per_node()
+        assert sum(per_node) == total
+
+    def test_effective_metrics_against_offline(self):
+        """System metrics equal offline CutNetwork metrics on the same cut."""
+        system = AdaptiveCountingSystem(width=64, seed=24, initial_nodes=30)
+        system.converge()
+        online = system.metrics()
+        from repro.core.cut import CutNetwork
+
+        offline = metrics.measure(CutNetwork(system.snapshot_cut()))
+        assert online == offline
+
+
+class TestScaleSanity:
+    @pytest.mark.parametrize("n", [10, 30, 60])
+    def test_bigger_systems_get_wider_networks(self, n):
+        system = AdaptiveCountingSystem(width=1 << 9, seed=25, initial_nodes=n)
+        system.converge()
+        m = system.metrics()
+        expected_level = TheoryModel(1 << 9).ell_star(n)
+        assert m.effective_width >= 2 ** max(0, expected_level - 4)

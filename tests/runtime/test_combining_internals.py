@@ -1,0 +1,62 @@
+"""White-box tests for the combiner's buffer mechanics."""
+
+import pytest
+
+from repro.runtime.combining import CombiningConfig
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+@pytest.fixture
+def system():
+    return AdaptiveCountingSystem(
+        width=8, seed=21, initial_nodes=3, combining=CombiningConfig(window=10.0)
+    )
+
+
+class TestCombinerBuffers:
+    def test_pending_counts_buffered_tokens(self, system):
+        system.inject_token(0)
+        system.inject_token(0)
+        assert system.combiner.pending == 2
+        system.run_until_quiescent()
+        assert system.combiner.pending == 0
+
+    def test_flush_is_idempotent(self, system):
+        system.inject_token(0)
+        path = next(iter(system.combiner._buffers))
+        system.combiner.flush(path)
+        assert system.combiner.stats.batches_sent == 1
+        system.combiner.flush(path)  # empty: no second batch
+        assert system.combiner.stats.batches_sent == 1
+        system.run_until_quiescent()
+
+    def test_flush_all_empties_every_buffer(self, system):
+        for wire in range(8):
+            system.inject_token(wire)
+        assert system.combiner.pending > 0
+        system.combiner.flush_all()
+        assert system.combiner.pending == 0
+        system.run_until_quiescent()
+        assert system.token_stats.retired == 8
+
+    def test_largest_batch_recorded(self, system):
+        for _ in range(5):
+            system.inject_token(0)
+        system.run_until_quiescent()
+        assert system.combiner.stats.largest_batch >= 1
+        assert (
+            system.combiner.stats.largest_batch
+            <= system.combiner.config.max_batch
+        )
+
+    def test_stale_flush_event_is_harmless(self, system):
+        """The scheduled window flush after an early max-batch flush
+        finds an empty buffer and does nothing."""
+        system.combiner.config.max_batch = 2
+        system.inject_token(0)
+        system.inject_token(0)  # early flush fires here
+        batches_after_early = system.combiner.stats.batches_sent
+        assert batches_after_early >= 1
+        system.run_until_quiescent()  # the stale window event runs
+        assert system.combiner.stats.batches_sent == batches_after_early
+        assert system.token_stats.retired == 2

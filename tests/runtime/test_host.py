@@ -1,0 +1,98 @@
+"""Tests for the per-node host (token plane, freezing, caching)."""
+
+import pytest
+
+from repro.core.components import ComponentState
+from repro.errors import ProtocolError
+from repro.runtime.system import AdaptiveCountingSystem
+from repro.runtime.tokens import Token, TokenMsg
+
+
+@pytest.fixture
+def system():
+    return AdaptiveCountingSystem(width=8, seed=1)
+
+
+def root_host(system):
+    return system.hosts[system.directory.owner(())]
+
+
+class TestInstallRemove:
+    def test_install_and_remove(self, system):
+        host = root_host(system)
+        spec = system.tree.node((0,))
+        host.install(ComponentState(spec))
+        assert (0,) in host.components
+        removed = host.remove((0,))
+        assert removed.spec == spec
+        assert (0,) not in host.components
+
+    def test_double_install_rejected(self, system):
+        host = root_host(system)
+        with pytest.raises(ProtocolError):
+            host.install(ComponentState(system.tree.root))
+
+    def test_remove_missing_rejected(self, system):
+        with pytest.raises(ProtocolError):
+            root_host(system).remove((5,))
+
+    def test_freeze_requires_component(self, system):
+        with pytest.raises(ProtocolError):
+            root_host(system).freeze((3,))
+
+
+class TestTokenHandling:
+    def test_token_routed_and_retired(self, system):
+        host = root_host(system)
+        token = Token(0, 0, 0.0)
+        system._inflight[()] = 1
+        host.handle_message(TokenMsg((), 0, token))
+        assert token.value == 0
+        assert token.exit_wire == 0
+        assert system.token_stats.retired == 1
+
+    def test_frozen_component_buffers(self, system):
+        host = root_host(system)
+        host.freeze(())
+        token = Token(0, 0, 0.0)
+        system._inflight[()] = 1
+        host.handle_message(TokenMsg((), 3, token))
+        assert token.value is None
+        assert host.buffers[()] == [(3, token)]
+        assert host.drain_buffer(()) == [(3, token)]
+        assert host.drain_buffer(()) == []
+
+    def test_missing_component_reroutes(self, system):
+        """A token for a stale path is re-resolved via the directory."""
+        system.reconfig.split(())
+        system.run_until_quiescent()
+        token = Token(9, 0, 0.0)
+        # Address the token to the now-dead root; any host will reroute.
+        host = next(iter(system.hosts.values()))
+        system._inflight[()] = 1
+        host.handle_message(TokenMsg((), 0, token))
+        system.run_until_quiescent()
+        assert token.value is not None
+        assert token.reroutes == 1
+
+
+class TestEdgeCache:
+    def test_cache_hits_accumulate(self, system):
+        system.reconfig.split(())
+        system.run_until_quiescent()
+        before_misses = sum(h.cache_misses for h in system.hosts.values())
+        for _ in range(20):
+            system.inject_token()
+        system.run_until_quiescent()
+        hits = sum(h.cache_hits for h in system.hosts.values())
+        misses = sum(h.cache_misses for h in system.hosts.values())
+        assert hits > 0
+        # misses bounded by (distinct member out-ports), not token count
+        assert misses - before_misses <= 6 * 4
+
+    def test_invalidate_clears(self, system):
+        for _ in range(5):
+            system.inject_token()
+        system.run_until_quiescent()
+        system.invalidate_caches()
+        assert all(not h._edge_cache for h in system.hosts.values())

@@ -1,0 +1,107 @@
+"""Tests for crash recovery (paper Section 3.4 + [HT03] stabilisation)."""
+
+import pytest
+
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def loaded_node(system):
+    return next(
+        nid for nid, h in system.hosts.items() if h.component_count() > 0
+    )
+
+
+class TestReconstruction:
+    def test_quiescent_crash_recovers_exact_state(self):
+        """With no tokens in flight, reconstruction from in-neighbours'
+        counters is exact."""
+        system = AdaptiveCountingSystem(width=16, seed=1, initial_nodes=15)
+        system.converge()
+        for _ in range(50):
+            system.inject_token()
+        system.run_until_quiescent()
+        victim = loaded_node(system)
+        states_before = {
+            p: s.copy() for p, s in system.hosts[victim].components.items()
+        }
+        system.crash_node(victim)
+        system.run_until_quiescent()
+        for path, before in states_before.items():
+            owner = system.directory.owner(path)
+            after = system.hosts[owner].components[path]
+            assert after.total == before.total
+            assert after.arrivals == before.arrivals
+
+    def test_counting_continues_after_recovery(self):
+        system = AdaptiveCountingSystem(width=16, seed=2, initial_nodes=15)
+        system.converge()
+        values = [system.next_value() for _ in range(20)]
+        system.crash_node(loaded_node(system))
+        system.run_until_quiescent()
+        values += [system.next_value() for _ in range(20)]
+        assert sorted(values) == list(range(40))
+
+    def test_input_source_tracing(self):
+        """The stabiliser traces every input port to a live emitter or a
+        network wire."""
+        system = AdaptiveCountingSystem(width=16, seed=3, initial_nodes=20)
+        system.converge()
+        for path in system.directory.live_paths():
+            spec = system.tree.node(path)
+            for port in range(spec.width):
+                source = system.stabilizer.input_source(spec, port)
+                if source[0] == "net":
+                    assert 0 <= source[1] < 16
+                else:
+                    assert system.directory.is_live(source[1])
+
+    def test_multiple_simultaneous_crashes(self):
+        system = AdaptiveCountingSystem(
+            width=16, seed=4, initial_nodes=25, auto_stabilize=False
+        )
+        system.converge()
+        for _ in range(30):
+            system.inject_token()
+        system.run_until_quiescent()
+        victims = [nid for nid, h in system.hosts.items() if h.component_count()][:2]
+        for victim in victims:
+            report = system.membership.crash(victim)
+            system.lost_components.update(report.lost_components)
+        system.stabilize()
+        system.run_until_quiescent()
+        system.directory.check_consistent()
+        for _ in range(30):
+            system.inject_token()
+        system.run_until_quiescent()
+        assert system.token_stats.retired == 60
+
+    def test_orphan_merge_duty_adopted(self):
+        """If the node that split a component crashes, some node must
+        adopt the merge duty (Section 3.4)."""
+        system = AdaptiveCountingSystem(width=16, seed=5, initial_nodes=10)
+        splitter = system.directory.owner(())
+        system.reconfig.split(())
+        system.run_until_quiescent()
+        system.crash_node(splitter)
+        system.run_until_quiescent()
+        registered = set()
+        for host in system.hosts.values():
+            registered.update(host.split_registry)
+        assert () in registered
+
+    def test_mid_flight_crash_bounded_imbalance(self):
+        """Tokens queued at the crashed node are lost; the output
+        imbalance afterwards is bounded by the number lost."""
+        system = AdaptiveCountingSystem(width=16, seed=6, initial_nodes=20)
+        system.converge()
+        for _ in range(40):
+            system.inject_token()
+        victim = loaded_node(system)
+        report = system.membership.crash(victim)
+        system.lost_components.update(report.lost_components)
+        system.stabilize()
+        system.run_until_quiescent()
+        lost = system.token_stats.issued - system.token_stats.retired
+        counts = system.output_counts
+        imbalance = max(counts) - min(counts)
+        assert imbalance <= lost + system.stats.disturbed_tokens + 1

@@ -1,0 +1,83 @@
+"""Tests for the static baseline deployments."""
+
+import pytest
+
+from repro.core.bitonic import bitonic_network
+from repro.core.verification import counting_values_ok, has_step_property
+from repro.errors import ProtocolError
+from repro.runtime.static_deploy import (
+    CentralCounterDeployment,
+    CountingTreeDeployment,
+    StaticBitonicDeployment,
+)
+
+
+class TestStaticBitonic:
+    def test_object_count_is_size_independent(self):
+        for nodes in (1, 10, 50):
+            deployment = StaticBitonicDeployment(bitonic_network(16), nodes, seed=1)
+            assert deployment.num_objects == 80
+
+    def test_counts_correctly(self):
+        deployment = StaticBitonicDeployment(bitonic_network(8), 10, seed=2)
+        tokens = [deployment.inject_token(i % 8) for i in range(40)]
+        deployment.run_until_quiescent()
+        assert counting_values_ok([t.value for t in tokens])
+        assert has_step_property(deployment.output_counts)
+
+    def test_hops_equal_balancer_layers_crossed(self):
+        deployment = StaticBitonicDeployment(bitonic_network(8), 5, seed=3)
+        token = deployment.inject_token(0)
+        deployment.run_until_quiescent()
+        # every wire crosses exactly `depth` balancers in a bitonic net
+        assert token.hops == deployment.network.depth
+
+    def test_skewed_input_still_steps(self):
+        deployment = StaticBitonicDeployment(bitonic_network(8), 5, seed=4)
+        for _ in range(23):
+            deployment.inject_token(0)
+        deployment.run_until_quiescent()
+        assert has_step_property(deployment.output_counts)
+
+    def test_minimum_one_node(self):
+        with pytest.raises(ProtocolError):
+            StaticBitonicDeployment(bitonic_network(4), 0)
+
+
+class TestCentralCounter:
+    def test_values_sequential(self):
+        deployment = CentralCounterDeployment(10, seed=5)
+        tokens = [deployment.inject_token() for _ in range(20)]
+        deployment.run_until_quiescent()
+        assert counting_values_ok([t.value for t in tokens])
+
+    def test_single_object(self):
+        assert CentralCounterDeployment(10, seed=6).num_objects == 1
+
+    def test_serialises_at_one_node(self):
+        """With service time s, n tokens take ~n*s: the bottleneck."""
+        deployment = CentralCounterDeployment(10, seed=7, service_time=1.0)
+        for _ in range(20):
+            deployment.inject_token()
+        deployment.run_until_quiescent()
+        assert deployment.sim.now >= 20.0
+
+
+class TestCountingTreeDeployment:
+    def test_values_gap_free(self):
+        deployment = CountingTreeDeployment(3, 10, seed=8)
+        tokens = [deployment.inject_token() for _ in range(30)]
+        deployment.run_until_quiescent()
+        assert counting_values_ok([t.value for t in tokens])
+
+    def test_hops_equal_depth_plus_leaf(self):
+        deployment = CountingTreeDeployment(3, 10, seed=9)
+        token = deployment.inject_token()
+        deployment.run_until_quiescent()
+        assert token.hops == 4  # 3 toggles + 1 leaf counter
+
+    def test_depth_zero(self):
+        deployment = CountingTreeDeployment(0, 3, seed=10)
+        tokens = [deployment.inject_token() for _ in range(5)]
+        deployment.run_until_quiescent()
+        assert [t.value for t in tokens] == [0, 1, 2, 3, 4]

@@ -1,0 +1,119 @@
+"""Tests for the system facade."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+class TestBootstrap:
+    def test_initial_state_single_component(self):
+        system = AdaptiveCountingSystem(width=32, seed=1)
+        assert system.num_nodes == 1
+        assert system.directory.live_paths() == frozenset({()})
+        system.directory.check_consistent()
+
+    def test_initial_nodes_parameter(self):
+        system = AdaptiveCountingSystem(width=32, seed=2, initial_nodes=7)
+        assert system.num_nodes == 7
+        system.directory.check_consistent()
+
+
+class TestTokenPlane:
+    def test_next_value_sequence(self):
+        system = AdaptiveCountingSystem(width=8, seed=3)
+        assert [system.next_value() for _ in range(10)] == list(range(10))
+
+    def test_values_out_of_order_but_gap_free(self):
+        system = AdaptiveCountingSystem(width=16, seed=4, initial_nodes=10)
+        system.converge()
+        tokens = [system.inject_token() for _ in range(50)]
+        system.run_until_quiescent()
+        values = sorted(t.value for t in tokens)
+        assert values == list(range(50))
+
+    def test_explicit_wire_choice(self):
+        system = AdaptiveCountingSystem(width=8, seed=5)
+        token = system.inject_token(wire=6)
+        system.run_until_quiescent()
+        assert token.entry_wire == 6
+        assert token.value is not None
+
+    def test_token_latency_recorded(self):
+        system = AdaptiveCountingSystem(width=8, seed=6, initial_nodes=5)
+        system.converge()
+        token = system.inject_token()
+        system.run_until_quiescent()
+        assert token.latency is not None and token.latency > 0
+        assert system.token_stats.mean_latency > 0
+
+    def test_retire_callback(self):
+        system = AdaptiveCountingSystem(width=8, seed=7)
+        seen = []
+        system.on_retire(lambda t: seen.append(t.value))
+        system.next_value()
+        assert seen == [0]
+
+    def test_output_counts_track_retirements(self):
+        system = AdaptiveCountingSystem(width=8, seed=8)
+        for _ in range(12):
+            system.next_value()
+        assert sum(system.output_counts) == 12
+        assert system.output_counts == [2, 2, 2, 2, 1, 1, 1, 1]
+
+
+class TestObservation:
+    def test_snapshot_matches_live_state(self):
+        system = AdaptiveCountingSystem(width=16, seed=9, initial_nodes=12)
+        system.converge()
+        for _ in range(20):
+            system.inject_token()
+        system.run_until_quiescent()
+        snapshot = system.snapshot_network()
+        assert sum(s.total for s in snapshot.members()) >= 20
+        # snapshot is a copy: mutating it leaves the system untouched
+        snapshot.feed_counts([1] * 16)
+        system.verify()
+
+    def test_metrics_change_with_size(self):
+        small = AdaptiveCountingSystem(width=64, seed=10)
+        small.converge()
+        big = AdaptiveCountingSystem(width=64, seed=10, initial_nodes=40)
+        big.converge()
+        assert big.metrics().effective_width > small.metrics().effective_width
+
+    def test_components_per_node_sums_to_cut(self):
+        system = AdaptiveCountingSystem(width=32, seed=11, initial_nodes=25)
+        system.converge()
+        assert sum(system.components_per_node()) == len(system.directory)
+
+    def test_verify_detects_missing_tokens(self):
+        system = AdaptiveCountingSystem(width=8, seed=12)
+        system.inject_token()  # in flight, not retired
+        with pytest.raises(ProtocolError):
+            system.verify()
+        system.run_until_quiescent()
+        system.verify()
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run(seed):
+            system = AdaptiveCountingSystem(width=32, seed=seed, initial_nodes=15)
+            system.converge()
+            tokens = [system.inject_token() for _ in range(30)]
+            system.run_until_quiescent()
+            return (
+                [t.value for t in tokens],
+                sorted(system.directory.live_paths()),
+                system.stats.splits,
+            )
+
+        assert run(42) == run(42)
+
+    def test_different_seeds_differ(self):
+        a = AdaptiveCountingSystem(width=32, seed=1, initial_nodes=15)
+        b = AdaptiveCountingSystem(width=32, seed=2, initial_nodes=15)
+        ids_a = sorted(h for h in a.hosts)
+        ids_b = sorted(h for h in b.hosts)
+        assert ids_a != ids_b

@@ -1,0 +1,90 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run_until_idle()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: log.append(n))
+        sim.run_until_idle()
+        assert log == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run_until_idle()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestRunning:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_until_idle_counts_events(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run_until_idle() == 5
+        assert sim.events_run == 5
+
+    def test_run_until_idle_event_bound(self):
+        sim = Simulator()
+
+        def rescheduling():
+            sim.schedule(1.0, rescheduling)
+
+        sim.schedule(1.0, rescheduling)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run_until(3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run_until_idle()
+        assert log == [1, 5]
+
+    def test_run_until_does_not_rewind(self):
+        sim = Simulator()
+        sim.schedule(4.0, lambda: None)
+        sim.run_until_idle()
+        sim.run_until(2.0)
+        assert sim.now == 4.0

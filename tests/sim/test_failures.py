@@ -1,0 +1,60 @@
+"""Tests for churn trace generation."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.failures import ChurnEvent, churn_trace, growth_then_shrink
+
+
+class TestChurnTrace:
+    def test_time_ordered(self):
+        events = churn_trace(random.Random(1), 100.0, 0.5, 0.3, 0.1)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 100.0 for t in times)
+
+    def test_rates_scale_counts(self):
+        rng = random.Random(2)
+        events = churn_trace(rng, 1000.0, 1.0, 0.1)
+        joins = sum(1 for e in events if e.action == "join")
+        leaves = sum(1 for e in events if e.action == "leave")
+        assert 800 < joins < 1200
+        assert 60 < leaves < 150
+
+    def test_zero_rate_means_no_events(self):
+        events = churn_trace(random.Random(3), 50.0, 0.0, 0.0, 0.0)
+        assert events == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            churn_trace(random.Random(0), -1.0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            churn_trace(random.Random(0), 10.0, -1.0, 1.0)
+
+    def test_seeded_reproducible(self):
+        a = churn_trace(random.Random(7), 100.0, 0.5, 0.5, 0.2)
+        b = churn_trace(random.Random(7), 100.0, 0.5, 0.5, 0.2)
+        assert a == b
+
+
+class TestGrowthThenShrink:
+    def test_shape(self):
+        events = growth_then_shrink(grow_to=10, shrink_to=4, start_size=2)
+        joins = [e for e in events if e.action == "join"]
+        leaves = [e for e in events if e.action == "leave"]
+        assert len(joins) == 8
+        assert len(leaves) == 6
+        assert all(j.time < l.time for j in joins for l in leaves)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            growth_then_shrink(5, 10, 1)
+        with pytest.raises(SimulationError):
+            growth_then_shrink(5, 2, 0)
+
+    def test_event_is_frozen(self):
+        event = ChurnEvent(1.0, "join")
+        with pytest.raises(AttributeError):
+            event.time = 2.0

@@ -1,0 +1,47 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.latency import ConstantLatency, ExponentialLatency, UniformLatency
+
+
+class TestConstantLatency:
+    def test_samples_are_constant(self):
+        model = ConstantLatency(2.5)
+        assert [model.sample() for _ in range(5)] == [2.5] * 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            ConstantLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_in_range_and_seeded(self):
+        a = UniformLatency(1.0, 3.0, random.Random(1))
+        b = UniformLatency(1.0, 3.0, random.Random(1))
+        samples_a = [a.sample() for _ in range(100)]
+        samples_b = [b.sample() for _ in range(100)]
+        assert samples_a == samples_b
+        assert all(1.0 <= s <= 3.0 for s in samples_a)
+
+    def test_invalid_range(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(3.0, 1.0, random.Random(0))
+        with pytest.raises(SimulationError):
+            UniformLatency(-1.0, 1.0, random.Random(0))
+
+
+class TestExponentialLatency:
+    def test_mean_approximately_right(self):
+        model = ExponentialLatency(2.0, random.Random(2))
+        samples = [model.sample() for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 1.8 < mean < 2.2
+        assert all(s >= 0 for s in samples)
+
+    def test_invalid_mean(self):
+        with pytest.raises(SimulationError):
+            ExponentialLatency(0.0, random.Random(0))

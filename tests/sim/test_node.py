@@ -1,0 +1,106 @@
+"""Tests for the message bus and per-node service queues."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.node import MessageBus, SimulatedProcess
+
+
+class Recorder(SimulatedProcess):
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append((message, self.sim.now))
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    bus = MessageBus(sim, ConstantLatency(1.0))
+    return sim, bus
+
+
+class TestDelivery:
+    def test_basic_delivery_with_latency(self, setup):
+        sim, bus = setup
+        proc = Recorder(sim)
+        bus.register("a", proc)
+        bus.send("a", "hello")
+        sim.run_until_idle()
+        assert proc.received == [("hello", 1.0)]
+        assert bus.messages_delivered == 1
+
+    def test_duplicate_registration_rejected(self, setup):
+        _sim, bus = setup
+        bus.register("a", Recorder(None))
+        with pytest.raises(SimulationError):
+            bus.register("a", Recorder(None))
+
+    def test_undeliverable_runs_callback(self, setup):
+        sim, bus = setup
+        failures = []
+        bus.send("ghost", "msg", on_undeliverable=lambda: failures.append(1))
+        sim.run_until_idle()
+        assert failures == [1]
+        assert bus.messages_dropped == 1
+
+    def test_unregister_mid_flight(self, setup):
+        sim, bus = setup
+        proc = Recorder(sim)
+        bus.register("a", proc)
+        failures = []
+        bus.send("a", "msg", on_undeliverable=lambda: failures.append(1))
+        bus.unregister("a")
+        sim.run_until_idle()
+        assert proc.received == []
+        assert failures == [1]
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(SimulationError):
+            MessageBus(Simulator(), service_time=-1.0)
+
+
+class TestServiceQueue:
+    def test_messages_queue_at_busy_node(self):
+        """With service time s, n simultaneous messages finish at
+        latency + i*s — the single-server bottleneck."""
+        sim = Simulator()
+        bus = MessageBus(sim, ConstantLatency(1.0), service_time=2.0)
+        proc = Recorder(sim)
+        bus.register("a", proc)
+        for i in range(3):
+            bus.send("a", i)
+        sim.run_until_idle()
+        times = [t for (_m, t) in proc.received]
+        assert times == [3.0, 5.0, 7.0]
+
+    def test_independent_nodes_run_in_parallel(self):
+        sim = Simulator()
+        bus = MessageBus(sim, ConstantLatency(1.0), service_time=2.0)
+        a, b = Recorder(sim), Recorder(sim)
+        bus.register("a", a)
+        bus.register("b", b)
+        bus.send("a", "x")
+        bus.send("b", "y")
+        sim.run_until_idle()
+        assert a.received[0][1] == 3.0
+        assert b.received[0][1] == 3.0  # not serialised across nodes
+
+
+class TestInFlightAccounting:
+    def test_kind_counters(self, setup):
+        sim, bus = setup
+        proc = Recorder(sim)
+        bus.register("a", proc)
+        bus.send("a", "t1", kind="token")
+        bus.send("a", "t2", kind="token")
+        bus.send("a", "c1", kind="control")
+        assert bus.in_flight("token") == 2
+        assert bus.in_flight("control") == 1
+        sim.run_until_idle()
+        assert bus.in_flight("token") == 0
+        assert bus.in_flight("control") == 0

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--width", "16", "--nodes", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants verified" in out
+        assert "ten counter values: [0, 1, 2" in out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "--width", "8", "--level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "B[8]@root" in out
+        assert "<== member" in out
+        assert "OUTPUT" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--width", "16", "--nodes", "6", "--tokens", "32", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tokens=32" in out
+        assert "wire   0" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--nodes", "64", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "within [N/10, 10N]" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
