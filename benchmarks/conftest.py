@@ -7,10 +7,23 @@ output capturing and can be pasted into EXPERIMENTS.md.
 """
 
 import os
+import random
+import zlib
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def rng(request):
+    """Per-bench deterministic RNG, seeded from the test's node id.
+
+    Benches that need randomness should take this fixture (or seed
+    their own ``random.Random`` explicitly) — the RSC301 lint rule
+    rejects module-level ``random.*`` calls repo-wide.
+    """
+    return random.Random(zlib.crc32(request.node.nodeid.encode("utf-8")))
 
 
 def format_table(title, headers, rows, notes=""):

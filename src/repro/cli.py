@@ -11,6 +11,10 @@ Commands
     output histogram.
 ``estimate``
     Show the Section 3.1 size-estimation accuracy for a given N.
+``check``
+    Static invariant analysis (``repro.staticcheck``): certify network
+    structure and the step property for small widths, validate cuts,
+    or lint the codebase (``--lint``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from repro.chord.estimation import SizeEstimator
 from repro.chord.ring import ChordRing
 from repro.core.cut import Cut, CutNetwork
 from repro.core.decomposition import DecompositionTree
+from repro.errors import StructureError
 from repro.runtime.system import AdaptiveCountingSystem
 
 
@@ -119,6 +124,36 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.core.wiring import MergerConvention
+    from repro.staticcheck.runner import run_check
+
+    convention = (
+        MergerConvention.PAPER_PROSE
+        if args.convention == "paper-prose"
+        else MergerConvention.AHS94
+    )
+    try:
+        run = run_check(
+            widths=args.width,
+            convention=convention,
+            lint=args.lint,
+            certify=not args.no_certify,
+        )
+    except StructureError as exc:
+        print("repro check: error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(run.to_json_payload(), indent=2))
+    else:
+        if run.report.diagnostics:
+            print(run.report.format())
+        print(run.summary())
+    return run.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,6 +182,35 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--nodes", type=int, default=256)
     estimate.add_argument("--seed", type=int, default=0)
     estimate.set_defaults(func=cmd_estimate)
+
+    check = sub.add_parser("check", help="static invariant analysis (repro.staticcheck)")
+    check.add_argument(
+        "--width",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8],
+        help="network widths to certify (powers of two)",
+    )
+    check.add_argument(
+        "--convention",
+        choices=["ahs94", "paper-prose"],
+        default="ahs94",
+        help="merger wiring convention to check (paper-prose is the known-bad typo)",
+    )
+    check.add_argument(
+        "--lint",
+        nargs="+",
+        metavar="PATH",
+        default=None,
+        help="run only the AST lint pass over the given files/directories",
+    )
+    check.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip the exhaustive 0-1-principle certification",
+    )
+    check.add_argument("--json", action="store_true", help="machine-readable output")
+    check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -61,5 +61,23 @@ class ComponentNotFound(ProtocolError):
     """A message was routed to a component that no longer exists anywhere."""
 
 
+class InvalidTransitionError(InvalidCutError, ProtocolError):
+    """A reconfiguration was rejected by static validation.
+
+    Raised by :mod:`repro.runtime.reconfig` before any state is touched
+    when :mod:`repro.staticcheck.cuts` finds that a requested split or
+    merge would not preserve the token-conservation precondition (the
+    target is not a valid cut, the member is not live/splittable, or
+    the live subtree does not partition the merge target). Inherits
+    from both :class:`InvalidCutError` and :class:`ProtocolError` so
+    structural and protocol handlers alike catch it; the full
+    diagnostic report is on ``.report``.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.format())
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was driven incorrectly."""

@@ -36,6 +36,7 @@ from repro.core.decomposition import ComponentSpec
 from repro.core.splitmerge import merge_child_states, split_child_states
 from repro.errors import ComponentNotFound, ProtocolError
 from repro.runtime.host import NodeHost
+from repro.staticcheck.cuts import validate_merge, validate_split
 
 Path = Tuple[int, ...]
 
@@ -58,8 +59,10 @@ class Reconfigurator:
         state = host.components.get(path)
         if state is None:
             raise ProtocolError("directory says %r is on %s, but it is not" % (path, owner))
-        if state.spec.is_leaf:
-            raise ProtocolError("cannot split the balancer %s" % (state.spec,))
+        # Static gate (repro.staticcheck): reject the reconfiguration up
+        # front — leaf split, or a post-split set that is not a valid
+        # cut — before any freeze or state transfer happens.
+        validate_split(system.tree, system.directory.live_paths(), path)
         host.freeze(path)
         children = split_child_states(system.wiring, state.spec, state.arrivals)
         # One install + ack round trip per child, concurrently.
@@ -137,6 +140,10 @@ class Reconfigurator:
         subtree = system.directory.live_descendants(path)
         if not subtree:
             raise ComponentNotFound("nothing to merge at %r" % (path,))
+        # Static gate (repro.staticcheck): the live descendants must
+        # partition the subtree exactly, or the folded counter state
+        # would misaccount past tokens (token conservation).
+        validate_merge(system.tree, system.directory.live_paths(), path)
         # Phase 1: freeze the input boundary (one message per member).
         boundary = self.input_boundary(path, subtree)
         system.stats.control_messages += len(boundary)

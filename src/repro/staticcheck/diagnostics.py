@@ -1,0 +1,143 @@
+"""Diagnostic model shared by all three analysis passes.
+
+A :class:`Diagnostic` is one finding: a stable error code, a message,
+and a *location* — either ``source:line`` for lint findings or a
+component/network label for structural findings. A :class:`Report`
+collects diagnostics from any number of passes and renders them as
+text (one ``location: CODE message`` line each) or JSON.
+
+Error-code blocks
+-----------------
+``RSC1xx``
+    Network structure (well-formedness, 0-1 certification, bounds).
+``RSC2xx``
+    Cut validity and cut-to-cut transitions.
+``RSC3xx``
+    Codebase lint rules.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only errors affect exit status."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of an analysis pass.
+
+    ``source`` is a file path (lint) or a network/cut label
+    (structure/cuts); ``line`` is set only for lint findings;
+    ``component`` optionally narrows a structural finding to one
+    component or wire.
+    """
+
+    code: str
+    message: str
+    source: str = ""
+    line: Optional[int] = None
+    component: Optional[str] = None
+    severity: Severity = Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        """``file:line`` or ``label[component]`` — whatever is known."""
+        where = self.source or "<unknown>"
+        if self.line is not None:
+            where = "%s:%d" % (where, self.line)
+        if self.component is not None:
+            where = "%s[%s]" % (where, self.component)
+        return where
+
+    def format(self) -> str:
+        return "%s: %s %s: %s" % (self.location, self.severity, self.code, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "component": self.component,
+            "severity": self.severity.value,
+        }
+
+
+class Report:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        code: str,
+        message: str,
+        source: str = "",
+        line: Optional[int] = None,
+        component: Optional[str] = None,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, message, source, line, component, severity)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "Report") -> "Report":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        """Truthy when the report is *clean* (no errors) — so code can
+        write ``if report: proceed()``."""
+        return self.ok
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the checked subject passed (no error diagnostics)."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        return "\n".join(d.format() for d in self.diagnostics)
+
+    def to_json(self, **kwargs) -> str:
+        payload = {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.diagnostics) - len(self.errors),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, **kwargs)

@@ -1,0 +1,377 @@
+"""Pass 3 — project-specific AST lint rules (codes ``RSC3xx``).
+
+Four rules, each born from an invariant the rest of the codebase
+relies on, enforced with :mod:`ast` visitors — no third-party linter
+needed, so the gate runs anywhere the package imports:
+
+``RSC301`` — no unseeded randomness.
+    Every experiment and simulation in this repository must be
+    reproducible from its seed. Calling module-level ``random.random()``
+    / ``random.choice`` etc. (or constructing ``random.Random()`` /
+    ``random.SystemRandom()`` without a seed) draws from hidden global
+    or OS state; randomness must flow from an explicitly seeded
+    ``random.Random(seed)`` injected into the consumer.
+
+``RSC302`` — no wall-clock inside ``repro.sim`` / ``repro.runtime``.
+    Simulated time is the only clock those layers may observe
+    (``Simulator.now``); reading ``time.time()`` or ``datetime.now()``
+    there makes runs machine-dependent and unrepeatable. The rule is
+    scoped to those packages — benchmarks may measure real time.
+
+``RSC303`` — message-passing discipline.
+    Inter-node effects must travel through the message bus: a message
+    handler may not call another process's ``handle_message`` directly
+    (re-entrant delivery skips the bus's ordering and accounting) and
+    may not reach into ``hosts[...]`` to touch another node's state.
+    The rule is scoped to handler methods — test drivers and the bus
+    itself deliver directly by design.
+
+``RSC304`` — no mutable default arguments.
+    The classic Python footgun; every occurrence in a long-lived
+    system is a latent cross-call state leak.
+
+Use :func:`lint_source` for one buffer, :func:`lint_paths` for files
+and directory trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.diagnostics import Report
+
+#: ``time`` functions that read the host clock.
+_WALL_CLOCK_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "localtime",
+    "gmtime",
+    "ctime",
+}
+
+#: ``datetime``/``date`` constructors that read the host clock.
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: Packages in which RSC302 applies.
+_SIM_TIME_PACKAGES = ("repro.sim", "repro.runtime")
+
+#: Names whose zero-argument call still yields seeded behaviour.
+_SEEDABLE_CLASSES = {"Random"}
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+
+
+def _module_name(filename: str) -> str:
+    """Dotted module path of a file, rooted at the ``repro`` package
+    when present (``.../src/repro/sim/node.py`` -> ``repro.sim.node``)."""
+    parts = os.path.normpath(filename).split(os.sep)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    stem = [p for p in parts if p]
+    if stem and stem[-1].endswith(".py"):
+        stem[-1] = stem[-1][:-3]
+    return ".".join(stem)
+
+
+class _LintVisitor(ast.NodeVisitor):
+    """One traversal applying all rules; context-aware via stacks."""
+
+    def __init__(self, filename: str, module: str, report: Report):
+        self.filename = filename
+        self.module = module
+        self.report = report
+        self.sim_scoped = module.startswith(_SIM_TIME_PACKAGES)
+        #: Aliases of the random/time/datetime modules in this file.
+        self.random_modules: Set[str] = set()
+        self.time_modules: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        #: Bare names bound by ``from random import X as Y`` (Y -> X),
+        #: and likewise for time/datetime.
+        self.random_names: Dict[str, str] = {}
+        self.time_names: Dict[str, str] = {}
+        self.datetime_classes: Set[str] = set()
+        self.class_stack: List[ast.ClassDef] = []
+        self.handler_depth = 0
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_modules.add(bound)
+            elif alias.name == "time":
+                self.time_modules.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "random":
+                self.random_names[bound] = alias.name
+            elif node.module == "time":
+                self.time_names[bound] = alias.name
+            elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_classes.add(bound)
+        self.generic_visit(node)
+
+    # -- context tracking ----------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        try:
+            handler_class = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "handle_message"
+                for item in node.body
+            )
+            for item in node.body:
+                if (
+                    handler_class
+                    and isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and (item.name == "handle_message" or item.name.startswith("_handle"))
+                ):
+                    self.handler_depth += 1
+                    self.visit(item)
+                    self.handler_depth -= 1
+                else:
+                    self.visit(item)
+        finally:
+            self.class_stack.pop()
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_BUILTINS
+                and not default.args
+                and not default.keywords
+            )
+            if mutable:
+                name = getattr(node, "name", "<lambda>")
+                self.report.add(
+                    "RSC304",
+                    "mutable default argument in %s(); use None and create "
+                    "inside the body" % name,
+                    self.filename,
+                    line=default.lineno,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._check_attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            self._check_name_call(node, func)
+        self.generic_visit(node)
+
+    def _check_attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        base = func.value
+        # RSC301: random.<fn>(...) on the module object.
+        if isinstance(base, ast.Name) and base.id in self.random_modules:
+            if func.attr in _SEEDABLE_CLASSES:
+                if not node.args and not node.keywords:
+                    self.report.add(
+                        "RSC301",
+                        "random.%s() constructed without a seed; pass an "
+                        "explicit seed" % func.attr,
+                        self.filename,
+                        line=node.lineno,
+                    )
+            else:
+                self.report.add(
+                    "RSC301",
+                    "module-level random.%s() draws from unseeded global "
+                    "state; use an injected random.Random(seed)" % func.attr,
+                    self.filename,
+                    line=node.lineno,
+                )
+        # RSC302: wall-clock reads inside sim/runtime.
+        if self.sim_scoped:
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.time_modules
+                and func.attr in _WALL_CLOCK_TIME
+            ):
+                self.report.add(
+                    "RSC302",
+                    "wall-clock time.%s() inside %s; use simulated time "
+                    "(Simulator.now)" % (func.attr, self.module),
+                    self.filename,
+                    line=node.lineno,
+                )
+            if func.attr in _WALL_CLOCK_DATETIME:
+                if isinstance(base, ast.Name) and (
+                    base.id in self.datetime_classes or base.id in self.datetime_modules
+                ):
+                    self.report.add(
+                        "RSC302",
+                        "wall-clock %s.%s() inside %s; use simulated time"
+                        % (base.id, func.attr, self.module),
+                        self.filename,
+                        line=node.lineno,
+                    )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in self.datetime_modules
+                ):
+                    self.report.add(
+                        "RSC302",
+                        "wall-clock datetime.%s.%s() inside %s; use simulated "
+                        "time" % (base.attr, func.attr, self.module),
+                        self.filename,
+                        line=node.lineno,
+                    )
+        # RSC303a: re-entrant handle_message() delivery from inside a
+        # handler. Scoped to handler methods: the bus and test drivers
+        # deliver directly by design.
+        if func.attr == "handle_message" and self.handler_depth:
+            in_bus = any(cls.name == "MessageBus" for cls in self.class_stack)
+            to_self = isinstance(base, ast.Name) and base.id == "self"
+            if not in_bus and not to_self:
+                self.report.add(
+                    "RSC303",
+                    "direct handle_message() call bypasses the message bus; "
+                    "send through MessageBus.send instead",
+                    self.filename,
+                    line=node.lineno,
+                )
+
+    def _check_name_call(self, node: ast.Call, func: ast.Name) -> None:
+        original = self.random_names.get(func.id)
+        if original is not None:
+            if original in _SEEDABLE_CLASSES:
+                if not node.args and not node.keywords:
+                    self.report.add(
+                        "RSC301",
+                        "%s() (random.%s) constructed without a seed"
+                        % (func.id, original),
+                        self.filename,
+                        line=node.lineno,
+                    )
+            else:
+                self.report.add(
+                    "RSC301",
+                    "%s() (random.%s) draws from unseeded global state; use "
+                    "an injected random.Random(seed)" % (func.id, original),
+                    self.filename,
+                    line=node.lineno,
+                )
+        if self.sim_scoped:
+            time_fn = self.time_names.get(func.id)
+            if time_fn in _WALL_CLOCK_TIME:
+                self.report.add(
+                    "RSC302",
+                    "wall-clock %s() (time.%s) inside %s; use simulated time"
+                    % (func.id, time_fn, self.module),
+                    self.filename,
+                    line=node.lineno,
+                )
+
+    # -- subscripts (RSC303b) -------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self.handler_depth and isinstance(node.value, ast.Attribute):
+            if node.value.attr == "hosts":
+                self.report.add(
+                    "RSC303",
+                    "message handler reaches into hosts[...] — cross-node "
+                    "state must be affected via messages only",
+                    self.filename,
+                    line=node.lineno,
+                )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    module: Optional[str] = None,
+    report: Optional[Report] = None,
+) -> Report:
+    """Lint one Python source buffer; returns (or extends) a report."""
+    if report is None:
+        report = Report()
+    if module is None:
+        module = _module_name(filename)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add(
+            "RSC300",
+            "syntax error: %s" % exc.msg,
+            filename,
+            line=exc.lineno or 1,
+        )
+        return report
+    _LintVisitor(filename, module, report).visit(tree)
+    return report
+
+
+def _iter_python_files(
+    paths: Iterable[str], exclude_dirs: Sequence[str], report: Report
+) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        if not os.path.isdir(path):
+            report.add("RSC300", "no such file or directory", path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in exclude_dirs and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    exclude_dirs: Tuple[str, ...] = ("fixtures", "__pycache__", "results"),
+    report: Optional[Report] = None,
+) -> Report:
+    """Lint files and directory trees (recursively, ``.py`` only).
+
+    ``exclude_dirs`` prunes directories by name — fixture trees hold
+    deliberate violations for the test suite.
+    """
+    if report is None:
+        report = Report()
+    for filename in _iter_python_files(paths, exclude_dirs, report):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.add("RSC300", "cannot read file: %s" % exc, filename)
+            continue
+        lint_source(source, filename, report=report)
+    return report

@@ -1,0 +1,173 @@
+"""Orchestration for ``repro check`` — runs all passes, one summary.
+
+A *target* is one checkable subject (a balancer-level network, a cut of
+a decomposition tree, a counting tree, or a linted path). The runner
+builds the standard target matrix for the requested widths — bitonic
+and periodic balancer networks, the singleton/level-1/full cuts of
+``T_w``, the block-level cut of the adaptive periodic tree, and the
+diffracting-tree baseline — runs every pass, and reports per-target
+status plus the combined diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bitonic import bitonic_depth, bitonic_network
+from repro.core.cut import Cut
+from repro.core.decomposition import DecompositionTree
+from repro.core.periodic import periodic_depth, periodic_network
+from repro.core.wiring import MergerConvention
+from repro.ext.periodic_adaptive import PeriodicWiring, block_level_cut_paths, periodic_tree
+from repro.staticcheck.diagnostics import Report
+from repro.staticcheck.lint import lint_paths
+from repro.staticcheck.structure import (
+    MAX_CERTIFY_CUT_WIDTH,
+    MAX_CERTIFY_WIDTH,
+    check_balancing_network,
+    check_counting_tree,
+    check_cut_network,
+)
+
+DEFAULT_WIDTHS = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class TargetResult:
+    """Outcome of all passes on one target."""
+
+    name: str
+    ok: bool
+    diagnostics: int
+
+    def format(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        suffix = "" if self.ok else " (%d diagnostics)" % self.diagnostics
+        return "%s  %s%s" % (status, self.name, suffix)
+
+
+@dataclass
+class CheckRun:
+    """Everything one ``repro check`` invocation produced."""
+
+    targets: List[TargetResult]
+    report: Report
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def summary(self) -> str:
+        lines = [t.format() for t in self.targets]
+        failed = sum(1 for t in self.targets if not t.ok)
+        lines.append(
+            "%d target(s), %d passed, %d failed"
+            % (len(self.targets), len(self.targets) - failed, failed)
+        )
+        return "\n".join(lines)
+
+    def to_json_payload(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "targets": [
+                {"name": t.name, "ok": t.ok, "diagnostics": t.diagnostics}
+                for t in self.targets
+            ],
+            "diagnostics": [d.to_dict() for d in self.report.diagnostics],
+        }
+
+
+def _cut_targets(width: int) -> List[Tuple[str, Cut]]:
+    """The representative cuts of ``T_w`` checked per width."""
+    tree = DecompositionTree(width)
+    targets = [("T_%d singleton cut" % width, Cut.singleton(tree))]
+    if tree.max_level >= 1:
+        targets.append(("T_%d level-1 cut" % width, Cut.level(tree, 1)))
+        targets.append(("T_%d full cut" % width, Cut.full(tree)))
+    return targets
+
+
+def run_check(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    convention: MergerConvention = MergerConvention.AHS94,
+    lint: Optional[Sequence[str]] = None,
+    certify: bool = True,
+    max_certify_width: int = MAX_CERTIFY_WIDTH,
+    max_certify_cut_width: int = MAX_CERTIFY_CUT_WIDTH,
+) -> CheckRun:
+    """Run the requested passes and return the combined result.
+
+    With ``lint`` set, only the lint pass runs over the given paths.
+    Otherwise the structure and cut passes run over the standard target
+    matrix for each width.
+    """
+    targets: List[TargetResult] = []
+    combined = Report()
+
+    def record(name: str, report: Report) -> None:
+        targets.append(TargetResult(name, report.ok, len(report.errors)))
+        combined.extend(report)
+
+    if lint is not None:
+        report = lint_paths(lint)
+        record("lint %s" % ", ".join(lint), report)
+        return CheckRun(targets, combined)
+
+    for width in widths:
+        name = "BITONIC[%d]" % width
+        record(
+            name,
+            check_balancing_network(
+                bitonic_network(width),
+                source=name,
+                expected_depth=bitonic_depth(width),
+                certify=certify,
+                max_certify_width=max_certify_width,
+            ),
+        )
+        name = "PERIODIC[%d]" % width
+        record(
+            name,
+            check_balancing_network(
+                periodic_network(width),
+                source=name,
+                expected_depth=periodic_depth(width),
+                certify=certify,
+                max_certify_width=max_certify_width,
+            ),
+        )
+        for name, cut in _cut_targets(width):
+            record(
+                name,
+                check_cut_network(
+                    cut,
+                    convention=convention,
+                    source=name,
+                    certify=certify,
+                    max_certify_width=max_certify_cut_width,
+                ),
+            )
+        if width >= 4:
+            ptree = periodic_tree(width)
+            cut = Cut(ptree, block_level_cut_paths(ptree))
+            name = "P_%d block-level cut" % width
+            record(
+                name,
+                check_cut_network(
+                    cut,
+                    wiring=PeriodicWiring(ptree),
+                    source=name,
+                    certify=certify,
+                    max_certify_width=max_certify_cut_width,
+                    check_bounds=False,
+                ),
+            )
+        depth = width.bit_length() - 1
+        name = "DIFFRACTING[depth=%d]" % depth
+        record(name, check_counting_tree(depth, source=name))
+    return CheckRun(targets, combined)

@@ -1,0 +1,45 @@
+"""Deliberately rule-violating fixture for the lint pass tests.
+
+Every construct below must trigger exactly the RSC3xx code the test
+asserts. This directory is excluded from repo-wide lint runs.
+"""
+
+import random
+from random import randint
+from repro.sim.node import SimulatedProcess
+
+
+def unseeded_module_call():
+    return random.random()  # RSC301
+
+
+def unseeded_constructor():
+    return random.Random()  # RSC301
+
+
+def unseeded_from_import():
+    return randint(0, 10)  # RSC301
+
+
+def seeded_ok(seed):
+    rng = random.Random(seed)  # fine: explicit seed
+    return rng.random()  # fine: injected RNG instance, not the module
+
+
+def mutable_default(values=[]):  # RSC304
+    values.append(1)
+    return values
+
+
+def mutable_default_dict(mapping={}):  # RSC304
+    return mapping
+
+
+class BadHost(SimulatedProcess):
+    def __init__(self, system, peer):
+        self.system = system
+        self.peer = peer
+
+    def handle_message(self, message):
+        self.system.hosts[0].components.clear()  # RSC303
+        self.peer.handle_message(message)  # RSC303

@@ -1,0 +1,64 @@
+"""The ``repro check`` CLI subcommand end to end."""
+
+import json
+import os
+
+from repro.cli import main
+
+HERE = os.path.dirname(__file__)
+REPO_SRC = os.path.normpath(os.path.join(HERE, os.pardir, os.pardir, "src", "repro"))
+BAD_FIXTURE = os.path.join(HERE, "fixtures", "lint_bad.py")
+
+
+class TestCheckCommand:
+    def test_certifies_bitonic_and_periodic_width4(self, capsys):
+        assert main(["check", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  BITONIC[4]" in out
+        assert "PASS  PERIODIC[4]" in out
+        assert "0 failed" in out
+
+    def test_default_widths(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        for width in (2, 4, 8):
+            assert "BITONIC[%d]" % width in out
+
+    def test_miswired_convention_rejected_nonzero(self, capsys):
+        assert main(["check", "--width", "4", "--convention", "paper-prose"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "RSC105" in out
+        # Diagnostics name the offending target.
+        assert "T_4 full cut" in out
+
+    def test_lint_self_clean(self, capsys):
+        assert main(["check", "--lint", REPO_SRC]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_lint_bad_file_nonzero_with_file_line(self, capsys):
+        assert main(["check", "--lint", BAD_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "lint_bad.py:" in out
+        assert "RSC301" in out
+
+    def test_json_output(self, capsys):
+        assert main(["check", "--width", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        names = [t["name"] for t in payload["targets"]]
+        assert "BITONIC[4]" in names and "PERIODIC[4]" in names
+
+    def test_json_output_failure(self, capsys):
+        assert main(["check", "--width", "4", "--convention", "paper-prose", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(d["code"] == "RSC105" for d in payload["diagnostics"])
+
+    def test_no_certify_skips_exhaustive_pass(self, capsys):
+        # The paper-prose wiring only fails certification; structural
+        # checks alone accept it.
+        assert main(
+            ["check", "--width", "4", "--convention", "paper-prose", "--no-certify"]
+        ) == 0

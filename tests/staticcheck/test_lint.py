@@ -1,0 +1,93 @@
+"""Pass 3 (AST lint) — fixture violations, clean-repo gate, output."""
+
+import json
+import os
+
+from repro.staticcheck import lint_paths, lint_source
+
+HERE = os.path.dirname(__file__)
+FIXTURE = os.path.join(HERE, "fixtures", "lint_bad.py")
+REPO_ROOT = os.path.normpath(os.path.join(HERE, os.pardir, os.pardir))
+
+
+def fixture_report():
+    return lint_paths([FIXTURE])
+
+
+class TestRules:
+    def test_fixture_trips_expected_codes(self):
+        report = fixture_report()
+        codes = report.codes()
+        assert codes.count("RSC301") == 3  # module call, Random(), from-import
+        assert codes.count("RSC304") == 2  # list and dict defaults
+        assert codes.count("RSC303") == 2  # hosts[...] + direct handle_message
+        assert "RSC302" not in codes  # fixture is not in repro.sim/runtime
+
+    def test_diagnostics_carry_file_and_line(self):
+        report = fixture_report()
+        for diagnostic in report:
+            assert diagnostic.source.endswith("lint_bad.py")
+            assert diagnostic.line is not None
+        rendered = report.format()
+        assert "lint_bad.py:" in rendered
+
+    def test_wall_clock_scoped_to_sim_and_runtime(self):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        scoped = lint_source(source, "node.py", module="repro.sim.node")
+        assert scoped.codes() == ["RSC302"]
+        assert scoped.diagnostics[0].line == 4
+        unscoped = lint_source(source, "bench.py", module="benchmarks.bench")
+        assert unscoped.ok
+
+    def test_datetime_now_flagged_in_runtime(self):
+        source = "from datetime import datetime\n\nx = datetime.now()\n"
+        report = lint_source(source, "x.py", module="repro.runtime.system")
+        assert report.codes() == ["RSC302"]
+        source = "import datetime\n\nx = datetime.datetime.now()\n"
+        report = lint_source(source, "x.py", module="repro.runtime.system")
+        assert report.codes() == ["RSC302"]
+
+    def test_seeded_random_not_flagged(self):
+        source = (
+            "import random\n"
+            "rng = random.Random(7)\n"
+            "value = rng.random()\n"
+        )
+        assert lint_source(source, "ok.py").ok
+
+    def test_bus_may_deliver_directly(self):
+        source = (
+            "class MessageBus:\n"
+            "    def deliver(self, process, message):\n"
+            "        process.handle_message(message)\n"
+        )
+        assert lint_source(source, "bus.py").ok
+
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_source("def broken(:\n", "broken.py")
+        assert report.codes() == ["RSC300"]
+
+    def test_json_output(self):
+        payload = json.loads(fixture_report().to_json())
+        assert payload["ok"] is False
+        assert all("code" in d and "line" in d for d in payload["diagnostics"])
+
+
+class TestRepoIsClean:
+    """The lint rules must pass on the repository's own code."""
+
+    def test_src_clean(self):
+        report = lint_paths([os.path.join(REPO_ROOT, "src", "repro")])
+        assert report.ok, report.format()
+
+    def test_tests_benchmarks_examples_clean(self):
+        # `fixtures` directories are excluded by default — they hold
+        # deliberate violations like this test's own fixture.
+        report = lint_paths(
+            [
+                os.path.join(REPO_ROOT, "tests"),
+                os.path.join(REPO_ROOT, "benchmarks"),
+                os.path.join(REPO_ROOT, "examples"),
+            ]
+        )
+        assert report.ok, report.format()
