@@ -39,6 +39,10 @@ SUCCESSOR_LIST = 4
 #: How long a node waits for an RPC reply before declaring failure.
 RPC_TIMEOUT = 10.0
 
+#: How many times a joining node re-issues its join query before giving
+#: up (a dead bootstrap must not leave the joiner spinning forever).
+MAX_JOIN_ATTEMPTS = 8
+
 
 @dataclass
 class _Rpc:
@@ -79,6 +83,14 @@ class ProtocolNode(SimulatedProcess):
         self.fingers: List[Optional[int]] = [None] * self.space.bits
         self._next_finger = 0
         self.alive = True
+        #: A node is *joined* once it knows its successor in the ring.
+        #: Until then it neither answers RPCs nor runs maintenance, so a
+        #: half-joined node can never claim ring membership (a lesson
+        #: from Zave's Chord analysis: the original fire-and-forget join
+        #: lets a node whose bootstrap died form a second ring).
+        self.joined = False
+        self._join_bootstrap: Optional[int] = None
+        self._join_attempts = 0
         self._pending: Dict[int, Callable[[object], None]] = {}
         self._call_ids = itertools.count()
 
@@ -98,6 +110,8 @@ class ProtocolNode(SimulatedProcess):
         rpc = _Rpc(method, args, self.node_id, call_id)
 
         def timeout() -> None:
+            if not self.alive:
+                return  # a dead node's timers must not mutate its state
             if self._pending.pop(call_id, None) is not None and on_timeout:
                 on_timeout()
 
@@ -113,6 +127,11 @@ class ProtocolNode(SimulatedProcess):
                 handler(message.value)
             return
         if isinstance(message, _Rpc):
+            if not self.joined:
+                # Not yet part of the ring: answering lookups here could
+                # splice a later joiner onto our private self-loop. Stay
+                # silent; the caller's RPC timeout covers us.
+                return
             value = getattr(self, "rpc_" + message.method)(*message.args)
             self.network.bus.send(
                 message.reply_to, _Reply(message.call_id, value), kind="chord"
@@ -201,6 +220,54 @@ class ProtocolNode(SimulatedProcess):
         self.find_successor(key, on_found, hops + 1)
 
     # ------------------------------------------------------------------
+    # joining
+    # ------------------------------------------------------------------
+    def begin_join(self, bootstrap_id: int) -> None:
+        """Drive our own join through ``bootstrap_id``.
+
+        The join is node-initiated and retried: if the bootstrap crashes
+        before answering, we re-issue the query while it is still
+        registered and give up after :data:`MAX_JOIN_ATTEMPTS`, staying
+        un-joined (and therefore invisible to the ring) rather than
+        looping back to ourselves.
+        """
+        self._join_bootstrap = bootstrap_id
+        self._send_join_query()
+
+    def _send_join_query(self) -> None:
+        bootstrap = self._join_bootstrap
+        if bootstrap is None:
+            return
+        self._join_attempts += 1
+
+        def admitted(result) -> None:
+            if self.joined:
+                return  # a duplicate reply from a retried query
+            owner, _hops = result
+            self.successors = [owner]
+            self.joined = True
+            # Stabilize immediately rather than waiting for the next
+            # maintenance round: this splices the successor's list into
+            # ours and announces us via notify. Until that happens our
+            # list has a single entry, and a crash of that one node
+            # would strand us in a permanent self-loop — a second ring
+            # (found by the Pass-5 model checker at n = 3).
+            self.stabilize()
+
+        self.call(
+            bootstrap,
+            "find_successor_sync",
+            (self.node_id, 0),
+            admitted,
+            on_timeout=self._retry_join,
+        )
+
+    def _retry_join(self) -> None:
+        if self.joined or self._join_attempts >= MAX_JOIN_ATTEMPTS:
+            return
+        self._send_join_query()
+
+    # ------------------------------------------------------------------
     # maintenance rounds
     # ------------------------------------------------------------------
     @property
@@ -217,6 +284,8 @@ class ProtocolNode(SimulatedProcess):
         """Ask our successor for its predecessor; adopt a closer one;
         refresh the successor list; notify. A lone node asks itself,
         which is how the two-node bootstrap closes the ring."""
+        if not self.joined:
+            return
         succ = self.successor
 
         def got_state(state) -> None:
@@ -236,7 +305,13 @@ class ProtocolNode(SimulatedProcess):
                 self.successors = list(dict.fromkeys(merged))[:SUCCESSOR_LIST]
             new_succ = self.successor
             if new_succ != self.node_id:
-                self.call(new_succ, "notify", (self.node_id,), lambda _ok: None)
+                self.call(
+                    new_succ,
+                    "notify",
+                    (self.node_id,),
+                    lambda _ok: None,
+                    on_timeout=lambda: self._drop_peer(new_succ),
+                )
             elif self.predecessor not in (None, self.node_id):
                 self.rpc_notify(self.predecessor)
 
@@ -245,16 +320,22 @@ class ProtocolNode(SimulatedProcess):
         )
 
     def fix_one_finger(self) -> None:
+        if not self.joined:
+            return
         index = self._next_finger
         self._next_finger = (self._next_finger + 1) % self.space.bits
         key = (self.node_id + (1 << index)) % self.space.size
 
         def found(owner: int, _hops: int) -> None:
+            if not self.alive:
+                return  # resolved after we crashed: nothing to install
             self.fingers[index] = owner
 
         self.find_successor(key, found)
 
     def check_predecessor(self) -> None:
+        if not self.joined:
+            return
         pred = self.predecessor
         if pred is None:
             return
@@ -293,6 +374,7 @@ class ChordProtocolNetwork:
             raise RingError("network already bootstrapped")
         node = self._spawn(node_id)
         node.predecessor = node.node_id
+        node.joined = True
         return node
 
     def _spawn(self, node_id: Optional[int]) -> ProtocolNode:
@@ -306,16 +388,19 @@ class ChordProtocolNetwork:
         return node
 
     def join(self, bootstrap_id: int, node_id: Optional[int] = None) -> ProtocolNode:
-        """A new node joins through any live node."""
+        """A new node joins through any live node.
+
+        The join query is issued (and retried) by the *joining* node;
+        until the answer arrives it is not part of the ring — it runs no
+        maintenance, answers no RPCs, and ``joined`` stays False, so a
+        bootstrap crash mid-join leaves a cleanly un-joined node rather
+        than a second one-node ring.
+        """
         bootstrap = self.node_if_alive(bootstrap_id)
         if bootstrap is None:
             raise RingError("bootstrap node %#x is not alive" % bootstrap_id)
         node = self._spawn(node_id)
-
-        def found(owner: int, _hops: int) -> None:
-            node.successors = [owner]
-
-        bootstrap.find_successor(node.node_id, found)
+        node.begin_join(bootstrap_id)
         return node
 
     def crash(self, node_id: int) -> None:

@@ -14,7 +14,9 @@ Commands
 ``check``
     Static invariant analysis (``repro.staticcheck``): certify network
     structure and the step property for small widths, validate cuts,
-    or lint the codebase (``--lint``).
+    lint the codebase (``--lint``), verify protocol message flow
+    (``--protocol``), or bounded-model-check the Chord/runtime
+    protocols over all small-scope schedules (``--model-check``).
 """
 
 from __future__ import annotations
@@ -124,6 +126,27 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def _load_mc_module(spec: str):
+    """Import the module supplying model-check factories.
+
+    Accepts a dotted module name or a ``.py`` file path; the module may
+    define ``network_factory`` and/or ``system_factory`` callables that
+    build the subject under test (used by the negative fixtures).
+    """
+    import importlib
+    import importlib.util
+
+    if spec.endswith(".py"):
+        module_spec = importlib.util.spec_from_file_location("repro_mc_subject", spec)
+        if module_spec is None or module_spec.loader is None:
+            raise StructureError("cannot load model-check module %r" % spec)
+        module = importlib.util.module_from_spec(module_spec)
+        sys.modules["repro_mc_subject"] = module
+        module_spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(spec)
+
+
 def cmd_check(args) -> int:
     from repro.core.wiring import MergerConvention
     from repro.staticcheck.runner import run_check
@@ -133,12 +156,38 @@ def cmd_check(args) -> int:
         if args.convention == "paper-prose"
         else MergerConvention.AHS94
     )
+    model_config = None
+    if args.model_check:
+        from repro.staticcheck.protocol.model import ModelCheckConfig
+
+        factories = {}
+        if args.mc_module:
+            try:
+                subject = _load_mc_module(args.mc_module)
+            except Exception as exc:
+                print("repro check: error: %s" % exc, file=sys.stderr)
+                return 2
+            for name in ("network_factory", "system_factory"):
+                factory = getattr(subject, name, None)
+                if factory is not None:
+                    factories[name] = factory
+        try:
+            model_config = ModelCheckConfig(
+                max_nodes=args.max_nodes, depth=args.mc_depth, **factories
+            )
+        except ValueError as exc:
+            print("repro check: error: %s" % exc, file=sys.stderr)
+            return 2
     try:
         run = run_check(
             widths=args.width,
             convention=convention,
             lint=args.lint,
             certify=not args.no_certify,
+            protocol=args.protocol,
+            protocol_paths=args.protocol_paths,
+            model_check=args.model_check,
+            model_config=model_config,
         )
     except StructureError as exc:
         print("repro check: error: %s" % exc, file=sys.stderr)
@@ -208,6 +257,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-certify",
         action="store_true",
         help="skip the exhaustive 0-1-principle certification",
+    )
+    check.add_argument(
+        "--protocol",
+        action="store_true",
+        help="run the Pass-4 message-flow analysis of the protocol layer",
+    )
+    check.add_argument(
+        "--protocol-paths",
+        nargs="+",
+        metavar="PATH",
+        default=None,
+        help="files to flow-analyze instead of the default protocol modules",
+    )
+    check.add_argument(
+        "--model-check",
+        action="store_true",
+        help="run the Pass-5 bounded model checker (small-scope schedules)",
+    )
+    check.add_argument(
+        "--max-nodes",
+        type=int,
+        default=3,
+        help="ring size bound for the model checker (2..4)",
+    )
+    check.add_argument(
+        "--mc-depth",
+        type=int,
+        default=3,
+        help="operations per model-check schedule",
+    )
+    check.add_argument(
+        "--mc-module",
+        metavar="MODULE",
+        default=None,
+        help="module (dotted name or .py path) providing network_factory/"
+        "system_factory for the model checker's subject",
     )
     check.add_argument("--json", action="store_true", help="machine-readable output")
     check.set_defaults(func=cmd_check)

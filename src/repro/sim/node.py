@@ -48,6 +48,12 @@ class MessageBus:
         self.service_time = service_time
         self._processes: Dict[Hashable, SimulatedProcess] = {}
         self._busy_until: Dict[Hashable, float] = {}
+        #: Monotonic per-address registration count. A message captures
+        #: the destination's epoch at send time; if the address was
+        #: unregistered and re-registered while the message was in
+        #: flight, the new incarnation must not receive mail addressed
+        #: to the old one (the classic re-registration ABA hazard).
+        self._epochs: Dict[Hashable, int] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -60,8 +66,11 @@ class MessageBus:
         if address in self._processes:
             raise SimulationError("address %r already registered" % (address,))
         self._processes[address] = process
+        self._epochs[address] = self._epochs.get(address, 0) + 1
 
     def unregister(self, address: Hashable) -> None:
+        # The epoch entry deliberately survives: it must keep growing
+        # across re-registrations of the same address.
         self._processes.pop(address, None)
         self._busy_until.pop(address, None)
 
@@ -91,10 +100,20 @@ class MessageBus:
         self.messages_sent += 1
         self._in_flight_by_kind[kind] = self._in_flight_by_kind.get(kind, 0) + 1
         transit = self.latency.sample()
+        # None when the destination is not registered yet: such mail may
+        # be picked up by whoever registers first (existing semantics).
+        sent_epoch = self._epochs.get(to_address) if self.is_registered(to_address) else None
 
-        def arrive() -> None:
+        def addressee() -> Optional[SimulatedProcess]:
             process = self._processes.get(to_address)
             if process is None:
+                return None
+            if sent_epoch is not None and self._epochs.get(to_address) != sent_epoch:
+                return None  # same address, different incarnation
+            return process
+
+        def arrive() -> None:
+            if addressee() is None:
                 self._finish(kind)
                 self.messages_dropped += 1
                 if on_undeliverable is not None:
@@ -105,7 +124,7 @@ class MessageBus:
             self._busy_until[to_address] = finish
 
             def process_it() -> None:
-                current = self._processes.get(to_address)
+                current = addressee()
                 self._finish(kind)
                 if current is None:
                     self.messages_dropped += 1

@@ -14,6 +14,15 @@ Error-code blocks
     Cut validity and cut-to-cut transitions.
 ``RSC3xx``
     Codebase lint rules.
+``RSC4xx``
+    Protocol message-flow analysis (send/handle graph).
+``RSC5xx``
+    Bounded model checking of the live protocols.
+
+:data:`KNOWN_CODES` is the authoritative registry: every code any pass
+may emit, with a one-line meaning. The JSON schema test asserts that
+the set of codes in the source, this registry, and the documentation
+agree, so a new diagnostic cannot ship undocumented.
 """
 
 from __future__ import annotations
@@ -22,6 +31,46 @@ import enum
 import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
+
+#: Every diagnostic code the analysis passes may emit.
+KNOWN_CODES: Dict[str, str] = {
+    # Pass 1 — network structure.
+    "RSC101": "malformed balancer-level wiring (widths, ranges, duplicate wires)",
+    "RSC102": "output order is not a permutation of the wires",
+    "RSC103": "member graph is cyclic or has no consistent layer assignment",
+    "RSC104": "an internal wire lacks exactly one producer and one consumer",
+    "RSC105": "0-1-principle certification or quiescent step property failed",
+    "RSC106": "depth does not match the closed form / Lemma 2.2 bound",
+    "RSC107": "effective width below the Lemma 2.3 bound",
+    "RSC108": "width exceeds the exhaustive certification limit (not certified)",
+    # Pass 2 — cuts and transitions.
+    "RSC201": "empty component set (a cut needs at least one member)",
+    "RSC202": "a member path does not denote a node of the tree",
+    "RSC203": "two members overlap (one is an ancestor of the other)",
+    "RSC204": "a root-to-leaf path crosses no member (coverage hole)",
+    "RSC205": "transition endpoints belong to different trees/widths",
+    "RSC206": "transition is not token-conserving subtree-aligned splits/merges",
+    # Pass 3 — codebase lint.
+    "RSC300": "lint could not read or parse a file",
+    "RSC301": "unseeded randomness (module-level random.* or Random())",
+    "RSC302": "wall-clock read inside repro.sim / repro.runtime",
+    "RSC303": "handler-context code bypasses the message bus",
+    "RSC304": "mutable default argument",
+    # Pass 4 — protocol message flow.
+    "RSC400": "flow analysis limitation (unreadable file, dynamic RPC name)",
+    "RSC401": "RPC sent with no matching rpc_* handler",
+    "RSC402": "rpc_* handler reachable from no send site or direct reference",
+    "RSC403": "call() site has no on_timeout path",
+    "RSC404": "_pending reply continuation discarded without rearming",
+    "RSC405": "registered continuation mutates shared state with no guard",
+    # Pass 5 — bounded model checking.
+    "RSC500": "model-check explorer error or truncated schedule space",
+    "RSC501": "ring connectivity violated after recovery",
+    "RSC502": "ring connected but successors misordered",
+    "RSC503": "successor graph splits into more than one ring",
+    "RSC504": "issued token never assigned an output wire (crash-free run)",
+    "RSC505": "quiescent output counts violate the step property",
+}
 
 
 class Severity(enum.Enum):

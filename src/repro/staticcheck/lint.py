@@ -23,8 +23,13 @@ needed, so the gate runs anywhere the package imports:
     handler may not call another process's ``handle_message`` directly
     (re-entrant delivery skips the bus's ordering and accounting) and
     may not reach into ``hosts[...]`` to touch another node's state.
-    The rule is scoped to handler methods — test drivers and the bus
-    itself deliver directly by design.
+    The rule is scoped to handler *contexts*: ``handle_message`` /
+    ``_handle*`` methods of classes that define ``handle_message``,
+    plus closures registered as asynchronous continuations — assigned
+    into a ``_pending`` reply table or passed as ``on_undeliverable``
+    / ``on_timeout`` to ``bus.send``/``call`` — which run later, in
+    message-delivery context. Test drivers and the bus itself deliver
+    directly by design.
 
 ``RSC304`` — no mutable default arguments.
     The classic Python footgun; every occurrence in a long-lived
@@ -69,6 +74,55 @@ _SEEDABLE_CLASSES = {"Random"}
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
 _MUTABLE_BUILTINS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
 
+#: Keyword arguments that register a closure as a message-time callback.
+_CALLBACK_KWARGS = ("on_undeliverable", "on_timeout")
+
+
+def _registered_closures(tree: ast.AST) -> Set[int]:
+    """``id()``s of closures that will run in message-delivery context.
+
+    A closure is *registered* when it is assigned into a ``_pending``
+    reply table (``self._pending[call_id] = fn``) or passed as an
+    ``on_undeliverable`` / ``on_timeout`` keyword — from then on it is
+    a message handler in everything but name, and RSC303 applies inside
+    it. Both lambdas and nested ``def``s referenced by name count.
+    """
+    marked: Set[int] = set()
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nested = {
+            fn.name: fn
+            for fn in ast.walk(scope)
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)) and fn is not scope
+        }
+
+        def resolve(value: ast.expr) -> Optional[ast.AST]:
+            if isinstance(value, ast.Lambda):
+                return value
+            if isinstance(value, ast.Name):
+                return nested.get(value.id)
+            return None
+
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "_pending"
+                    ):
+                        closure = resolve(node.value)
+                        if closure is not None:
+                            marked.add(id(closure))
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg in _CALLBACK_KWARGS:
+                        closure = resolve(keyword.value)
+                        if closure is not None:
+                            marked.add(id(closure))
+    return marked
+
 
 def _module_name(filename: str) -> str:
     """Dotted module path of a file, rooted at the ``repro`` package
@@ -101,6 +155,13 @@ class _LintVisitor(ast.NodeVisitor):
         self.datetime_classes: Set[str] = set()
         self.class_stack: List[ast.ClassDef] = []
         self.handler_depth = 0
+        #: Closures registered as message-time callbacks (filled in
+        #: visit_Module); RSC303 treats their bodies as handler code.
+        self.closure_handlers: Set[int] = set()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self.closure_handlers = _registered_closures(node)
+        self.generic_visit(node)
 
     # -- imports --------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -168,17 +229,25 @@ class _LintVisitor(ast.NodeVisitor):
                     line=default.lineno,
                 )
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+    def _visit_function(self, node) -> None:
         self._check_defaults(node)
-        self.generic_visit(node)
+        if id(node) in self.closure_handlers:
+            self.handler_depth += 1
+            try:
+                self.generic_visit(node)
+            finally:
+                self.handler_depth -= 1
+        else:
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_function(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
+        self._visit_function(node)
 
     # -- calls ----------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:

@@ -1,0 +1,504 @@
+"""Pass 4 — static message-flow analysis of the protocol layer (``RSC4xx``).
+
+The data-plane passes certify what the network *is*; this pass checks
+what the protocol *does*. It walks the ASTs of the protocol-layer
+modules and extracts a send/handle graph:
+
+* every RPC initiation — ``call(target, "method", args, on_reply,
+  on_timeout=...)`` sites;
+* every ``rpc_*`` endpoint reachable through ``handle_message``
+  dispatch (the ``getattr(self, "rpc_" + method)`` convention);
+* every raw ``bus.send(..., kind=..., on_undeliverable=...)`` site;
+* every *registered continuation* — a closure handed to ``call()`` /
+  the scheduler / ``on_*`` keywords, i.e. code that runs later, in
+  message-delivery context, against possibly changed node state.
+
+Rules
+-----
+``RSC401``
+    An RPC is sent whose method has no matching ``rpc_*`` handler in
+    any analyzed class: the dispatch ``getattr`` would raise at the
+    receiver, killing the handler mid-message.
+``RSC402``
+    An ``rpc_*`` handler is reachable from no send site and no direct
+    reference: dead protocol surface, usually a renamed or obsolete
+    message.
+``RSC403``
+    A ``call()`` site passes no ``on_timeout`` path. Without one, a
+    crashed callee silently swallows the RPC: no reply, no failure
+    signal, no dead-peer eviction.
+``RSC404``
+    A ``_pending`` reply-continuation entry is popped (or deleted, or
+    cleared) with the popped handler discarded: the reply that entry
+    was armed for can no longer be delivered *or* time out — it is
+    dropped on the floor.
+``RSC405``
+    A registered continuation mutates shared (public) node state with
+    no staleness guard. Between registration and execution, arbitrary
+    messages may have been processed; a continuation must re-validate
+    (any ``if``/``while`` test reading ``self``) before writing.
+
+``RSC400`` marks analysis limitations: unparseable files and dynamic
+RPC method names the analysis cannot resolve (warning).
+
+Everything is :mod:`ast` only — no imports of the analyzed modules, so
+broken protocol code can still be diagnosed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.staticcheck.diagnostics import Report, Severity
+
+#: Modules whose ASTs make up the default protocol layer.
+DEFAULT_PROTOCOL_MODULES: Tuple[str, ...] = (
+    "repro.chord.protocol",
+    "repro.sim.node",
+    "repro.runtime.reconfig",
+    "repro.runtime.stabilization",
+    "repro.runtime.membership",
+    "repro.runtime.tokens",
+)
+
+#: Method-name prefix the RPC dispatcher maps message methods onto.
+RPC_PREFIX = "rpc_"
+
+#: Keyword arguments that register an asynchronous continuation.
+CALLBACK_KEYWORDS: Tuple[str, ...] = (
+    "on_reply",
+    "on_timeout",
+    "on_undeliverable",
+    "on_found",
+)
+
+#: Mutating container methods counted as state writes by RSC405.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "update",
+    }
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_ClosureNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def default_protocol_paths() -> List[str]:
+    """File paths of :data:`DEFAULT_PROTOCOL_MODULES` in this install."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    paths = []
+    for module in DEFAULT_PROTOCOL_MODULES:
+        parts = module.split(".")[1:]
+        paths.append(os.path.join(root, *parts) + ".py")
+    return paths
+
+
+@dataclass(frozen=True)
+class SendSite:
+    """One ``call(target, "method", ...)`` RPC initiation site."""
+
+    method: str
+    file: str
+    line: int
+    has_timeout: bool
+
+
+@dataclass(frozen=True)
+class HandlerSite:
+    """One ``rpc_*`` endpoint reachable through ``handle_message``."""
+
+    method: str  # without the rpc_ prefix
+    cls: str
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class BusSendSite:
+    """One raw ``bus.send(...)`` site with its literal kind, if any."""
+
+    kind: Optional[str]
+    file: str
+    line: int
+    has_undeliverable: bool
+
+
+@dataclass
+class MessageFlowGraph:
+    """The extracted send/handle graph of the analyzed files."""
+
+    sends: List[SendSite] = field(default_factory=list)
+    handlers: List[HandlerSite] = field(default_factory=list)
+    bus_sends: List[BusSendSite] = field(default_factory=list)
+    #: RPC methods referenced by direct attribute access (local calls
+    #: like ``self.rpc_notify(...)`` — reachable, but not via the bus).
+    direct_refs: Set[str] = field(default_factory=set)
+
+    @property
+    def sent_methods(self) -> Set[str]:
+        return {site.method for site in self.sends}
+
+    @property
+    def handled_methods(self) -> Set[str]:
+        return {site.method for site in self.handlers}
+
+    @property
+    def kinds(self) -> Set[str]:
+        return {site.kind for site in self.bus_sends if site.kind is not None}
+
+
+def _iter_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _is_protocol_class(node: ast.ClassDef) -> bool:
+    """A class that participates in message dispatch."""
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "handle_message"
+        for item in node.body
+    )
+
+
+def _attribute_chain_tail(func: ast.expr) -> Optional[str]:
+    """The object a method is called on: ``a.b.send`` -> ``"b"``."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _is_pending_attribute(node: ast.expr) -> bool:
+    """Whether ``node`` is an attribute access ending in ``._pending``."""
+    return isinstance(node, ast.Attribute) and node.attr == "_pending"
+
+
+def _self_write_target(node: ast.expr) -> Optional[str]:
+    """The public ``self`` attribute written by an assignment target."""
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return None if node.attr.startswith("_") else node.attr
+        return None
+    if isinstance(node, ast.Subscript):
+        return _self_write_target(node.value)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            attr = _self_write_target(element)
+            if attr is not None:
+                return attr
+    return None
+
+
+def _closure_mutations(closure: _ClosureNode) -> List[Tuple[str, int]]:
+    """Public ``self`` state writes in a closure body (own scope only)."""
+    mutations: List[Tuple[str, int]] = []
+    body: Sequence[ast.AST]
+    if isinstance(closure, ast.Lambda):
+        body = [closure.body]
+    else:
+        body = closure.body
+    for statement in body:
+        for node in [statement, *_iter_scope(statement)]:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = _self_write_target(target)
+                    if attr is not None:
+                        mutations.append((attr, node.lineno))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                attr = _self_write_target(node.target)
+                if attr is not None:
+                    mutations.append((attr, node.lineno))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                if func.attr in _MUTATORS and isinstance(func.value, ast.Attribute):
+                    owner = func.value
+                    if (
+                        isinstance(owner.value, ast.Name)
+                        and owner.value.id == "self"
+                        and not owner.attr.startswith("_")
+                    ):
+                        mutations.append((owner.attr, node.lineno))
+    return mutations
+
+
+def _closure_has_guard(closure: _ClosureNode) -> bool:
+    """Whether the closure re-validates any ``self`` state before
+    acting (an ``if``/``while`` whose test reads ``self``)."""
+    if isinstance(closure, ast.Lambda):
+        for node in ast.walk(closure.body):
+            if isinstance(node, ast.IfExp):
+                for leaf in ast.walk(node.test):
+                    if isinstance(leaf, ast.Name) and leaf.id == "self":
+                        return True
+        return False
+    for statement in closure.body:
+        for node in [statement, *_iter_scope(statement)]:
+            if isinstance(node, (ast.If, ast.While)):
+                for leaf in ast.walk(node.test):
+                    if isinstance(leaf, ast.Name) and leaf.id == "self":
+                        return True
+    return False
+
+
+class _FlowVisitor(ast.NodeVisitor):
+    """Collects the flow graph and site-local findings for one file."""
+
+    def __init__(self, filename: str, graph: MessageFlowGraph, report: Report):
+        self.filename = filename
+        self.graph = graph
+        self.report = report
+        self.class_stack: List[ast.ClassDef] = []
+        self.protocol_class_depth = 0
+
+    # -- classes and handlers -------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_protocol = _is_protocol_class(node)
+        self.class_stack.append(node)
+        if is_protocol:
+            self.protocol_class_depth += 1
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if item.name.startswith(RPC_PREFIX):
+                        self.graph.handlers.append(
+                            HandlerSite(
+                                item.name[len(RPC_PREFIX):],
+                                node.name,
+                                self.filename,
+                                item.lineno,
+                            )
+                        )
+                    self._check_continuations(item)
+        try:
+            self.generic_visit(node)
+        finally:
+            self.class_stack.pop()
+            if is_protocol:
+                self.protocol_class_depth -= 1
+
+    # -- RSC405: registered continuations --------------------------------
+    def _check_continuations(self, method: _FunctionNode) -> None:
+        nested: Dict[str, _FunctionNode] = {
+            n.name: n
+            for n in ast.walk(method)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)) and n is not method
+        }
+        registered: List[Tuple[_ClosureNode, int]] = []
+        seen: Set[int] = set()
+
+        def mark(value: ast.expr, line: int) -> None:
+            closure: Optional[_ClosureNode] = None
+            if isinstance(value, ast.Lambda):
+                closure = value
+            elif isinstance(value, ast.Name) and value.id in nested:
+                closure = nested[value.id]
+            if closure is not None and id(closure) not in seen:
+                seen.add(id(closure))
+                registered.append((closure, line))
+
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in node.args:
+                mark(arg, node.lineno)
+            for keyword in node.keywords:
+                if keyword.arg is None or keyword.arg in CALLBACK_KEYWORDS:
+                    mark(keyword.value, node.lineno)
+
+        for closure, _line in registered:
+            mutations = _closure_mutations(closure)
+            if not mutations or _closure_has_guard(closure):
+                continue
+            name = getattr(closure, "name", "<lambda>")
+            for attr, line in mutations:
+                self.report.add(
+                    "RSC405",
+                    "continuation %s() in %s.%s mutates self.%s with no "
+                    "staleness guard; re-validate state (an if reading "
+                    "self) before writing — the node may have changed "
+                    "since registration"
+                    % (
+                        name,
+                        self.class_stack[-1].name if self.class_stack else "<module>",
+                        method.name,
+                        attr,
+                    ),
+                    self.filename,
+                    line=line,
+                )
+
+    # -- calls -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "call" and len(node.args) >= 2:
+            self._record_rpc_send(node)
+        elif isinstance(func, ast.Attribute) and func.attr == "send":
+            owner = _attribute_chain_tail(func)
+            if owner == "bus":
+                self._record_bus_send(node)
+        self.generic_visit(node)
+
+    def _record_rpc_send(self, node: ast.Call) -> None:
+        method_arg = node.args[1]
+        if not (isinstance(method_arg, ast.Constant) and isinstance(method_arg.value, str)):
+            self.report.add(
+                "RSC400",
+                "dynamic RPC method name in call(); flow analysis cannot "
+                "match it to a handler",
+                self.filename,
+                line=node.lineno,
+                severity=Severity.WARNING,
+            )
+            return
+        has_timeout = len(node.args) >= 5 or any(
+            keyword.arg == "on_timeout" for keyword in node.keywords
+        )
+        self.graph.sends.append(
+            SendSite(method_arg.value, self.filename, node.lineno, has_timeout)
+        )
+        if not has_timeout:
+            self.report.add(
+                "RSC403",
+                'call(..., "%s", ...) has no on_timeout path: a crashed '
+                "callee swallows the RPC with no failure signal and no "
+                "dead-peer eviction" % method_arg.value,
+                self.filename,
+                line=node.lineno,
+            )
+
+    def _record_bus_send(self, node: ast.Call) -> None:
+        kind: Optional[str] = None
+        has_undeliverable = False
+        for keyword in node.keywords:
+            if keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    kind = keyword.value.value
+            elif keyword.arg == "on_undeliverable":
+                has_undeliverable = True
+        self.graph.bus_sends.append(
+            BusSendSite(kind, self.filename, node.lineno, has_undeliverable)
+        )
+
+    # -- RSC404: dropped reply continuations -----------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            func = value.func
+            if func.attr in ("pop", "clear") and _is_pending_attribute(func.value):
+                self.report.add(
+                    "RSC404",
+                    "_pending.%s() discards the reply continuation: the "
+                    "reply it was armed for can now neither be delivered "
+                    "nor time out" % func.attr,
+                    self.filename,
+                    line=node.lineno,
+                )
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _is_pending_attribute(target.value):
+                self.report.add(
+                    "RSC404",
+                    "del on a _pending entry discards the reply "
+                    "continuation without invoking or rearming it",
+                    self.filename,
+                    line=node.lineno,
+                )
+        self.generic_visit(node)
+
+    # -- direct handler references ---------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith(RPC_PREFIX):
+            self.graph.direct_refs.add(node.attr[len(RPC_PREFIX):])
+        self.generic_visit(node)
+
+
+def collect_flow_graph(
+    paths: Optional[Sequence[str]] = None, report: Optional[Report] = None
+) -> Tuple[MessageFlowGraph, Report]:
+    """Parse ``paths`` (default: the protocol layer) and build the
+    send/handle graph, recording site-local diagnostics as we go."""
+    if report is None:
+        report = Report()
+    if paths is None:
+        paths = default_protocol_paths()
+    graph = MessageFlowGraph()
+    seen: Set[str] = set()
+    for path in paths:
+        path = os.path.normpath(path)
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.add("RSC400", "cannot read file: %s" % exc, path)
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.add(
+                "RSC400",
+                "syntax error: %s" % exc.msg,
+                path,
+                line=exc.lineno or 1,
+            )
+            continue
+        _FlowVisitor(path, graph, report).visit(tree)
+    return graph, report
+
+
+def check_message_flow(
+    paths: Optional[Sequence[str]] = None, report: Optional[Report] = None
+) -> Report:
+    """Run the full Pass-4 analysis; returns (or extends) a report."""
+    graph, report = collect_flow_graph(paths, report)
+    handled = graph.handled_methods
+    for site in graph.sends:
+        if site.method not in handled:
+            report.add(
+                "RSC401",
+                'RPC "%s" is sent but no class defines %s%s: dispatch '
+                "raises AttributeError at the receiver"
+                % (site.method, RPC_PREFIX, site.method),
+                site.file,
+                line=site.line,
+            )
+    sent = graph.sent_methods
+    for handler in graph.handlers:
+        if handler.method not in sent and handler.method not in graph.direct_refs:
+            report.add(
+                "RSC402",
+                "handler %s.%s%s is reachable from no call() site and "
+                "no direct reference: dead protocol surface"
+                % (handler.cls, RPC_PREFIX, handler.method),
+                handler.file,
+                line=handler.line,
+            )
+    return report

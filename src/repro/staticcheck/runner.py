@@ -99,12 +99,19 @@ def run_check(
     certify: bool = True,
     max_certify_width: int = MAX_CERTIFY_WIDTH,
     max_certify_cut_width: int = MAX_CERTIFY_CUT_WIDTH,
+    protocol: bool = False,
+    protocol_paths: Optional[Sequence[str]] = None,
+    model_check: bool = False,
+    model_config=None,
 ) -> CheckRun:
     """Run the requested passes and return the combined result.
 
     With ``lint`` set, only the lint pass runs over the given paths.
-    Otherwise the structure and cut passes run over the standard target
-    matrix for each width.
+    With ``protocol`` / ``model_check`` set, only those protocol-layer
+    passes run — message-flow analysis over ``protocol_paths`` (default:
+    the protocol-layer modules) and the bounded model checker under
+    ``model_config``. Otherwise the structure and cut passes run over
+    the standard target matrix for each width.
     """
     targets: List[TargetResult] = []
     combined = Report()
@@ -116,6 +123,23 @@ def run_check(
     if lint is not None:
         report = lint_paths(lint)
         record("lint %s" % ", ".join(lint), report)
+        return CheckRun(targets, combined)
+
+    if protocol or model_check:
+        if protocol:
+            from repro.staticcheck.protocol.flow import check_message_flow
+
+            record("protocol message flow", check_message_flow(protocol_paths))
+        if model_check:
+            from repro.staticcheck.protocol.model import ModelCheckConfig
+            from repro.staticcheck.protocol.model import model_check as bounded_model_check
+
+            config = model_config if model_config is not None else ModelCheckConfig()
+            record(
+                "bounded model check (n<=%d, depth %d)"
+                % (config.max_nodes, config.depth),
+                bounded_model_check(config),
+            )
         return CheckRun(targets, combined)
 
     for width in widths:

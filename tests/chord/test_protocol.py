@@ -5,8 +5,20 @@ import random
 
 import pytest
 
+from repro.chord.identifiers import IdentifierSpace
 from repro.chord.protocol import ChordProtocolNetwork
 from repro.errors import RingError
+
+
+def build_small_ring(ids, seed=0, bits=8):
+    """A converged ring with the exact identifiers ``ids``."""
+    network = ChordProtocolNetwork(seed=seed, space=IdentifierSpace(bits=bits))
+    network.create_first(ids[0])
+    for node_id in ids[1:]:
+        network.join(ids[0], node_id=node_id)
+        network.run_rounds(3)
+    network.run_rounds(8)
+    return network
 
 
 def build_converged(n, seed=0, rounds=None):
@@ -149,6 +161,79 @@ class TestFailures:
             position = bisect.bisect_left(ring, key)
             assert owner == ring[position % len(ring)]
 
+    def test_bootstrap_crash_mid_join_leaves_node_unjoined(self):
+        """A joiner whose bootstrap dies before answering must stay out
+        of the ring (regression: it used to loop back to itself and form
+        a second one-node ring)."""
+        network = ChordProtocolNetwork(seed=20)
+        first = network.create_first(1)
+        network.join(first.node_id, node_id=9)
+        network.run_rounds(4)
+        # Start the join, then crash the bootstrap before any reply can
+        # arrive (latency is 1.0 each way; no sim step in between).
+        joiner = network.join(1, node_id=13)
+        network.crash(1)
+        network.run_rounds(12)
+        assert not joiner.joined
+        assert joiner.successor == joiner.node_id
+        # The survivors still form exactly one ring among themselves.
+        survivors = [n for n in network.nodes.values() if n.joined]
+        assert [n.node_id for n in survivors] == [9]
+        assert survivors[0].successor == 9
+
+    def test_unjoined_node_does_not_answer_join_queries(self):
+        """Joining through a node that is itself not yet joined must not
+        splice the newcomer onto the unjoined node's self-loop."""
+        network = ChordProtocolNetwork(seed=21)
+        first = network.create_first(1)
+        network.join(first.node_id, node_id=9)
+        network.run_rounds(4)
+        stuck = network.join(1, node_id=13)
+        network.crash(1)  # 13 can now never join
+        late = network.join(stuck.node_id, node_id=5)
+        network.run_rounds(16)
+        assert not stuck.joined
+        assert not late.joined  # bounded retries gave up cleanly
+        assert late.successor == late.node_id
+
+    def test_stabilize_drops_dead_adopted_successor(self):
+        """Adopting a closer successor that is already dead must be
+        undone within the same stabilize round (regression: the notify
+        call had no timeout path, so the dead adoptee stayed at the head
+        of the successor list until the *next* round's get_state timed
+        out)."""
+        network = ChordProtocolNetwork(seed=22)
+        network.create_first(1)
+        network.join(1, node_id=5)
+        network.run_rounds(4)
+        network.join(1, node_id=9)
+        network.run_rounds(6)
+        assert network.is_converged()
+        # 9 still believes its predecessor is 5 (crash leaves it stale);
+        # 1, told about 5 by 9, adopts it and must immediately notice
+        # the notify cannot be delivered.
+        network.crash(5)
+        node = network.nodes[1]
+        node.successors = [9]
+        node.fingers = [None] * network.space.bits
+        assert network.nodes[9].predecessor == 5
+        node.stabilize()
+        network.sim.run_until_idle()
+        assert node.successor == 9
+
+    def test_crashed_node_timers_do_not_mutate_state(self):
+        """RPC timeout callbacks scheduled before a crash fire after it;
+        they must leave the dead node's state alone."""
+        network = build_converged(6, seed=23)
+        victim_id = network.true_ring()[0]
+        victim = network.nodes[victim_id]
+        victim.stabilize()  # schedules an RPC timeout RPC_TIMEOUT ahead
+        network.crash(victim_id)
+        before = (list(victim.successors), victim.predecessor, list(victim.fingers))
+        network.run_rounds(6)
+        after = (list(victim.successors), victim.predecessor, list(victim.fingers))
+        assert before == after
+
     def test_churn_then_convergence(self):
         network = build_converged(10, seed=14)
         rng = random.Random(15)
@@ -160,3 +245,42 @@ class TestFailures:
             network.run_rounds(3)
         network.run_rounds(15)
         assert network.is_converged()
+
+    def test_lookup_across_crashed_successor_before_healing(self):
+        """A lookup whose next hop is a freshly crashed node must route
+        around it via the RPC timeout (no healing rounds in between)."""
+        network = build_small_ring([1, 65, 129, 193], seed=24)
+        network.run_rounds(40)  # warm fingers so 65 is a routing step
+        network.crash(65)
+        owner, hops = network.lookup(1, 129)
+        assert owner == 129
+        assert hops >= 1  # the detour is accounted as extra hops
+
+    def test_concurrent_join_and_crash_during_stabilization(self):
+        """A node joins while another crashes in the same instant, with
+        stabilization rounds already in flight; the ring must absorb
+        both and converge."""
+        network = build_small_ring([1, 65, 129, 193], seed=25)
+        # Kick off a stabilization round but do not let it finish.
+        for node in list(network.nodes.values()):
+            node.stabilize()
+        joiner = network.join(1, node_id=97)
+        network.crash(129)
+        network.run_rounds(12)
+        assert joiner.joined
+        assert sorted(network.nodes) == [1, 65, 97, 193]
+        assert network.is_converged()
+        assert network.converged_predecessors()
+
+    def test_find_successor_sync_hop_accounting(self):
+        """Hops reflect every node-to-node step: with fingers cleared the
+        route degenerates to a successor walk of known length."""
+        network = build_small_ring([1, 65, 129, 193], seed=26)
+        for node in network.nodes.values():
+            node.fingers = [None] * network.space.bits
+        # Own interval: zero hops.
+        assert network.lookup(1, 65) == (65, 0)
+        # Two successor steps: 1 -> 65 -> 129 answer for key 193.
+        owner, hops = network.lookup(1, 193)
+        assert owner == 193
+        assert hops == 2

@@ -63,6 +63,33 @@ class TestDelivery:
         with pytest.raises(SimulationError):
             MessageBus(Simulator(), service_time=-1.0)
 
+    def test_reregistered_address_does_not_inherit_old_mail(self, setup):
+        """A message in flight toward a process that unregisters must not
+        be delivered to a *different* process that re-registers at the
+        same address (re-registration ABA)."""
+        sim, bus = setup
+        old, new = Recorder(sim), Recorder(sim)
+        bus.register("a", old)
+        failures = []
+        bus.send("a", "for-old", on_undeliverable=lambda: failures.append(1))
+        bus.unregister("a")
+        bus.register("a", new)
+        sim.run_until_idle()
+        assert old.received == []
+        assert new.received == []
+        assert failures == [1]
+        assert bus.messages_dropped == 1
+
+    def test_mail_sent_before_registration_is_delivered(self, setup):
+        """Sends to a not-yet-registered address still reach whoever
+        registers before delivery (existing semantics preserved)."""
+        sim, bus = setup
+        proc = Recorder(sim)
+        bus.send("a", "early")
+        bus.register("a", proc)
+        sim.run_until_idle()
+        assert [m for (m, _t) in proc.received] == ["early"]
+
 
 class TestServiceQueue:
     def test_messages_queue_at_busy_node(self):

@@ -1,0 +1,31 @@
+"""Deliberate RSC303 violations inside registered closures.
+
+The extended RSC303 treats a closure as handler-context code once it is
+registered as an asynchronous continuation — assigned into a
+``_pending`` reply table or passed as ``on_undeliverable`` /
+``on_timeout`` — because the bus will run it in message-delivery
+context later.
+"""
+
+
+class ClosureNode:
+    def __init__(self, bus, hosts):
+        self.bus = bus
+        self.hosts = hosts
+        self._pending = {}
+
+    def handle_message(self, message):
+        pass
+
+    def ask(self, peer, other):
+        def on_reply(value):
+            # RSC303: direct delivery from a registered continuation
+            # bypasses the bus's ordering and accounting.
+            other.handle_message(value)
+
+        self._pending[7] = on_reply
+        self.bus.send(
+            peer,
+            "ping",
+            on_undeliverable=lambda: self.hosts[peer].mark_dead(),
+        )  # RSC303: reaches into hosts[...] from a registered closure

@@ -1,0 +1,46 @@
+"""Deliberate RSC4xx violations for the Pass-4 flow-analysis tests.
+
+This file is excluded from the repo-wide protocol check (it is only
+analyzed explicitly via ``--protocol-paths``); every construct below is
+a minimal reproduction of one diagnostic.
+"""
+
+
+class BrokenProtocolNode:
+    """A protocol class (defines handle_message) with flawed flow."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.peers = []
+        self._pending = {}
+
+    def handle_message(self, message):
+        handler = getattr(self, "rpc_" + message.method)
+        handler(*message.args)
+
+    def rpc_ping(self):
+        return True
+
+    def rpc_legacy_probe(self):
+        # RSC402: never sent by any call() site, never referenced.
+        return False
+
+    def query(self, target):
+        # RSC401: no class defines rpc_locate.
+        # RSC403: no on_timeout path either.
+        self.call(target, "locate", (1,), lambda result: None)
+
+    def probe(self, target):
+        def on_reply(result):
+            # RSC405: mutates shared state with no staleness guard.
+            self.peers.append(result)
+
+        self.call(target, "ping", (), on_reply, on_timeout=lambda: None)
+
+    def drop_reply(self, call_id):
+        # RSC404: the popped continuation is discarded, so the reply it
+        # was armed for can neither be delivered nor time out.
+        self._pending.pop(call_id)
+
+    def call(self, target, method, args, on_reply, on_timeout=None):
+        raise NotImplementedError("fixture: never executed")

@@ -73,6 +73,71 @@ class TestRules:
         assert all("code" in d and "line" in d for d in payload["diagnostics"])
 
 
+class TestClosureHandlers:
+    """RSC303 extends to closures registered as message-time callbacks."""
+
+    CLOSURE_FIXTURE = os.path.join(HERE, "fixtures", "closure_handler_bad.py")
+
+    def test_fixture_trips_both_closure_variants(self):
+        report = lint_paths([self.CLOSURE_FIXTURE])
+        assert report.codes() == ["RSC303", "RSC303"]
+        lines = sorted(d.line for d in report)
+        rendered = report.format()
+        assert "handle_message" in rendered  # the _pending-registered def
+        assert "hosts[" in rendered  # the on_undeliverable lambda
+        assert lines == sorted(set(lines))  # two distinct sites
+
+    def test_pending_registration_marks_nested_def(self):
+        source = (
+            "class Node:\n"
+            "    def handle_message(self, message):\n"
+            "        pass\n"
+            "    def ask(self, other):\n"
+            "        def on_reply(value):\n"
+            "            other.handle_message(value)\n"
+            "        self._pending[1] = on_reply\n"
+        )
+        assert lint_source(source, "closure.py").codes() == ["RSC303"]
+
+    def test_on_timeout_lambda_marked(self):
+        source = (
+            "class Node:\n"
+            "    def handle_message(self, message):\n"
+            "        pass\n"
+            "    def ask(self, bus, peer, other):\n"
+            "        bus.send(peer, 'm', on_timeout=lambda: "
+            "other.handle_message('x'))\n"
+        )
+        assert lint_source(source, "closure.py").codes() == ["RSC303"]
+
+    def test_unregistered_closure_not_handler_scoped(self):
+        # The same body in a plain helper closure is out of scope: it
+        # never runs in message-delivery context.
+        source = (
+            "class Node:\n"
+            "    def handle_message(self, message):\n"
+            "        pass\n"
+            "    def ask(self, other):\n"
+            "        def helper(value):\n"
+            "            other.handle_message(value)\n"
+            "        return helper\n"
+        )
+        assert lint_source(source, "closure.py").ok
+
+    def test_benign_registered_closure_clean(self):
+        # Registration alone is fine — only bus-bypassing bodies trip.
+        source = (
+            "class Node:\n"
+            "    def handle_message(self, message):\n"
+            "        pass\n"
+            "    def ask(self, bus, peer):\n"
+            "        def on_drop():\n"
+            "            self.failures += 1\n"
+            "        bus.send(peer, 'm', on_undeliverable=on_drop)\n"
+        )
+        assert lint_source(source, "closure.py").ok
+
+
 class TestRepoIsClean:
     """The lint rules must pass on the repository's own code."""
 

@@ -1,0 +1,154 @@
+"""Pass 5 (bounded model checking) — explorers, invariants, fixtures."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck.protocol import (
+    ModelCheckConfig,
+    model_check,
+    model_check_chord,
+    model_check_runtime,
+)
+from repro.staticcheck.protocol.model import (
+    _chord_schedules,
+    _default_network_factory,
+    _id_pool,
+    _runtime_schedules,
+)
+
+HERE = os.path.dirname(__file__)
+MC_BAD = os.path.join(HERE, "fixtures", "mc_bad.py")
+
+
+def load_mc_bad():
+    spec = importlib.util.spec_from_file_location("mc_bad_fixture", MC_BAD)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["mc_bad_fixture"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestConfig:
+    def test_max_nodes_bounded_to_small_scope(self):
+        with pytest.raises(ValueError):
+            ModelCheckConfig(max_nodes=5)
+        with pytest.raises(ValueError):
+            ModelCheckConfig(max_nodes=1)
+        with pytest.raises(ValueError):
+            ModelCheckConfig(depth=0)
+
+    def test_id_pool_spread_over_the_ring(self):
+        config = ModelCheckConfig(max_nodes=4)
+        pool = _id_pool(_default_network_factory(config), 4)
+        assert pool == [1, 65, 129, 193]
+        assert len(set(pool)) == 4
+
+
+class TestEnumeration:
+    def test_schedules_respect_enabledness(self):
+        config = ModelCheckConfig(max_nodes=3, depth=3)
+        pool = _id_pool(_default_network_factory(config), 3)
+        schedules = _chord_schedules(config, pool)
+        assert schedules and all(len(s) == 3 for s in schedules)
+        for schedule in schedules:
+            alive = {pool[0]}
+            for op in schedule:
+                if op[0] == "join":
+                    assert op[2] in alive  # bootstrap alive at join time
+                    alive.add(op[1])
+                elif op[0] == "crash":
+                    assert op[1] in alive
+                    alive.discard(op[1])
+                    assert alive  # never crash the last member
+                else:
+                    assert op[1] in alive
+
+    def test_runtime_schedules_enumerate_reconfigurations(self):
+        config = ModelCheckConfig(max_nodes=3, depth=2)
+        from repro.staticcheck.protocol.model import _default_system_factory
+
+        schedules = _runtime_schedules(config, _default_system_factory(config))
+        ops = {op[0] for schedule in schedules for op in schedule}
+        assert {"inject", "split", "merge", "add_node"} <= ops
+        # merge only ever targets a component that a split took live
+        for schedule in schedules:
+            split_paths = set()
+            for op in schedule:
+                if op[0] == "split":
+                    split_paths.add(op[1])
+                elif op[0] == "merge":
+                    assert op[1] in split_paths
+
+
+class TestRepoIsClean:
+    def test_chord_protocol_passes_small_scope(self):
+        report = model_check_chord(ModelCheckConfig(max_nodes=3, depth=3))
+        assert report.ok, report.format()
+
+    def test_runtime_passes_small_scope(self):
+        report = model_check_runtime(ModelCheckConfig(max_nodes=3, depth=2))
+        assert report.ok, report.format()
+
+    def test_combined_entry_point(self):
+        report = model_check(ModelCheckConfig(max_nodes=2, depth=2))
+        assert report.ok, report.format()
+
+
+class TestFixture:
+    def test_legacy_join_forms_a_second_ring(self):
+        fixture = load_mc_bad()
+        report = model_check_chord(
+            ModelCheckConfig(max_nodes=3, depth=3, network_factory=fixture.network_factory)
+        )
+        codes = set(report.codes())
+        assert "RSC503" in codes
+        assert not report.ok
+        # The counterexample schedule is part of the message.
+        rendered = report.format()
+        assert "schedule:" in rendered and "crash" in rendered
+
+    def test_lossy_runtime_violates_token_conservation(self):
+        fixture = load_mc_bad()
+        report = model_check_runtime(
+            ModelCheckConfig(max_nodes=3, depth=2, system_factory=fixture.system_factory)
+        )
+        assert "RSC504" in report.codes()
+        assert not report.ok
+
+    def test_violation_flood_is_capped(self):
+        fixture = load_mc_bad()
+        config = ModelCheckConfig(
+            max_nodes=3,
+            depth=2,
+            max_violations_per_code=2,
+            system_factory=fixture.system_factory,
+        )
+        report = model_check_runtime(config)
+        errors = [d for d in report.errors if d.code == "RSC504"]
+        assert len(errors) == 2
+        assert any("suppressed" in d.message for d in report.diagnostics)
+
+    def test_cli_exits_nonzero_on_fixture(self, capsys):
+        code = main(
+            ["check", "--model-check", "--max-nodes", "3", "--mc-module", MC_BAD]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL  bounded model check" in out
+        assert "RSC503" in out
+
+    def test_cli_rejects_out_of_scope_max_nodes(self, capsys):
+        assert main(["check", "--model-check", "--max-nodes", "9"]) == 2
+        assert "max_nodes" in capsys.readouterr().err
+
+
+class TestCliAcceptance:
+    def test_protocol_and_model_check_pass_on_the_repo(self, capsys):
+        assert main(["check", "--protocol", "--model-check", "--max-nodes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  protocol message flow" in out
+        assert "PASS  bounded model check (n<=3, depth 3)" in out

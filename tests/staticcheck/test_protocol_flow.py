@@ -1,0 +1,177 @@
+"""Pass 4 (message-flow analysis) — graph extraction, rules, fixtures."""
+
+import os
+import textwrap
+
+from repro.cli import main
+from repro.staticcheck.protocol import (
+    check_message_flow,
+    collect_flow_graph,
+    default_protocol_paths,
+)
+
+HERE = os.path.dirname(__file__)
+FLOW_BAD = os.path.join(HERE, "fixtures", "flow_bad.py")
+
+
+def analyze_source(tmp_path, source):
+    path = tmp_path / "subject.py"
+    path.write_text(textwrap.dedent(source))
+    return check_message_flow([str(path)])
+
+
+class TestRepoProtocolLayer:
+    def test_repo_protocol_layer_is_clean(self):
+        report = check_message_flow()
+        assert report.ok, report.format()
+
+    def test_default_paths_exist(self):
+        paths = default_protocol_paths()
+        assert len(paths) == 6
+        for path in paths:
+            assert os.path.isfile(path), path
+
+    def test_graph_matches_the_chord_protocol(self):
+        graph, _report = collect_flow_graph()
+        assert {"find_successor_sync", "get_state", "notify", "ping"} <= graph.sent_methods
+        assert "closest_preceding" in graph.handled_methods
+        # closest_preceding is only invoked locally — reachable via a
+        # direct reference, not via the bus.
+        assert "closest_preceding" not in graph.sent_methods
+        assert "closest_preceding" in graph.direct_refs
+        assert "chord" in graph.kinds
+        # Every RPC initiation in the repo has a timeout path.
+        assert all(site.has_timeout for site in graph.sends)
+
+
+class TestFixture:
+    def test_fixture_trips_all_five_rules(self):
+        report = check_message_flow([FLOW_BAD])
+        codes = set(report.codes())
+        assert {"RSC401", "RSC402", "RSC403", "RSC404", "RSC405"} <= codes
+        assert not report.ok
+
+    def test_fixture_diagnostics_carry_file_and_line(self):
+        report = check_message_flow([FLOW_BAD])
+        for diagnostic in report:
+            assert diagnostic.source.endswith("flow_bad.py")
+            assert diagnostic.line is not None
+
+    def test_cli_exits_nonzero_on_fixture(self, capsys):
+        assert main(["check", "--protocol", "--protocol-paths", FLOW_BAD]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  protocol message flow" in out
+        assert "RSC401" in out
+
+
+class TestRules:
+    def test_matched_send_and_handler_is_clean(self, tmp_path):
+        report = analyze_source(
+            tmp_path,
+            """
+            class Node:
+                def handle_message(self, message):
+                    pass
+
+                def rpc_echo(self, value):
+                    return value
+
+                def ask(self, target):
+                    self.call(target, "echo", (1,), lambda r: None,
+                              on_timeout=lambda: None)
+            """,
+        )
+        assert report.ok, report.format()
+
+    def test_positional_timeout_argument_counts(self, tmp_path):
+        report = analyze_source(
+            tmp_path,
+            """
+            class Node:
+                def handle_message(self, message):
+                    pass
+
+                def rpc_echo(self, value):
+                    return value
+
+                def ask(self, target, bail):
+                    self.call(target, "echo", (1,), lambda r: None, bail)
+            """,
+        )
+        assert "RSC403" not in report.codes()
+
+    def test_direct_reference_keeps_handler_reachable(self, tmp_path):
+        report = analyze_source(
+            tmp_path,
+            """
+            class Node:
+                def handle_message(self, message):
+                    pass
+
+                def rpc_local_step(self, key):
+                    return key
+
+                def route(self, key):
+                    return self.rpc_local_step(key)
+            """,
+        )
+        assert "RSC402" not in report.codes()
+
+    def test_dynamic_method_name_is_a_warning_only(self, tmp_path):
+        report = analyze_source(
+            tmp_path,
+            """
+            class Node:
+                def handle_message(self, message):
+                    pass
+
+                def ask(self, target, method):
+                    self.call(target, method, (), lambda r: None,
+                              on_timeout=lambda: None)
+            """,
+        )
+        assert report.codes() == ["RSC400"]
+        assert report.ok  # warnings do not fail the check
+
+    def test_syntax_error_reported_as_rsc400_error(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        report = check_message_flow([str(path)])
+        assert report.codes() == ["RSC400"]
+        assert not report.ok
+
+    def test_guarded_continuation_is_clean(self, tmp_path):
+        report = analyze_source(
+            tmp_path,
+            """
+            class Node:
+                def handle_message(self, message):
+                    pass
+
+                def rpc_state(self):
+                    return self.successors
+
+                def stabilize(self, succ):
+                    def got_state(state):
+                        if succ != self.successor:
+                            return
+                        self.successors = [succ] + state
+
+                    self.call(succ, "state", (), got_state,
+                              on_timeout=lambda: None)
+            """,
+        )
+        assert "RSC405" not in report.codes()
+
+    def test_non_protocol_class_is_ignored(self, tmp_path):
+        # No handle_message: not a protocol class, so its rpc_-looking
+        # methods and call()s are out of scope for 401/402/405.
+        report = analyze_source(
+            tmp_path,
+            """
+            class Helper:
+                def rpc_orphan(self):
+                    return 1
+            """,
+        )
+        assert report.ok and not report.codes()
