@@ -1,0 +1,30 @@
+"""The performance harness behind ``repro bench``.
+
+Seeded, stdlib-only benchmark scenarios for the hot paths the ROADMAP
+cares about: single-token routing through a balancing network, batch
+count propagation, inject-to-retire under churn, and rules convergence.
+Results are emitted as a ``BENCH_*.json`` document and compared against
+a committed baseline by the CI smoke job.
+"""
+
+from repro.bench.harness import (
+    BENCH_ID,
+    PROFILES,
+    SCHEMA_VERSION,
+    ScenarioResult,
+    compare_to_baseline,
+    format_results,
+    run_bench,
+    to_json_payload,
+)
+
+__all__ = [
+    "BENCH_ID",
+    "PROFILES",
+    "SCHEMA_VERSION",
+    "ScenarioResult",
+    "compare_to_baseline",
+    "format_results",
+    "run_bench",
+    "to_json_payload",
+]

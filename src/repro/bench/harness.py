@@ -1,0 +1,168 @@
+"""Profiles, the runner, JSON emission, and the regression gate.
+
+The JSON document (``BENCH_*.json``) has a stable shape::
+
+    {
+      "schema": 1,
+      "bench_id": "BENCH_3",
+      "profile": "small",
+      "seed": 0,
+      "scenarios": {
+        "<name>": {
+          "ops_per_sec": <float>,   # primary rate, regression-gated
+          "events": <int>,          # seed-stable work count
+          "metrics": {...}          # scenario-specific secondaries
+        }
+      }
+    }
+
+``compare_to_baseline`` gates each scenario's ``ops_per_sec`` against a
+committed baseline document: a scenario regressing by more than the
+threshold fails the comparison (new scenarios and baseline-only
+scenarios are reported but never fail — baselines are updated by
+re-running the bench and committing the fresh document).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.result import ScenarioResult
+from repro.bench.scenarios import SCENARIOS
+from repro.errors import BenchmarkError
+
+SCHEMA_VERSION = 1
+
+#: This PR series' benchmark trajectory file (ISSUE 3).
+BENCH_ID = "BENCH_3"
+
+#: Per-profile scenario parameters. ``token_routing`` keeps width 64 in
+#: every profile so the table-vs-scan speedup is always measured at the
+#: acceptance width; the other scenarios scale with the profile.
+PROFILES: Dict[str, Dict[str, Dict]] = {
+    "smoke": {
+        "token_routing": {"width": 64, "tokens": 4000, "repeats": 3},
+        "batch_counts": {"width": 64, "batches": 200, "max_per_wire": 8, "repeats": 3},
+        "inject_to_retire": {"width": 16, "nodes": 8, "tokens": 200, "churn_every": 50},
+        "converge": {"width": 32, "nodes": 12},
+    },
+    "small": {
+        "token_routing": {"width": 64, "tokens": 20000, "repeats": 3},
+        "batch_counts": {"width": 64, "batches": 1000, "max_per_wire": 16, "repeats": 3},
+        "inject_to_retire": {"width": 16, "nodes": 16, "tokens": 600, "churn_every": 60},
+        "converge": {"width": 64, "nodes": 32},
+    },
+    "large": {
+        "token_routing": {"width": 64, "tokens": 100000, "repeats": 5},
+        "batch_counts": {"width": 256, "batches": 2000, "max_per_wire": 32, "repeats": 3},
+        "inject_to_retire": {"width": 32, "nodes": 40, "tokens": 2500, "churn_every": 100},
+        "converge": {"width": 128, "nodes": 80},
+    },
+}
+
+
+def run_bench(
+    profile: str = "small",
+    seed: int = 0,
+    only: Optional[Iterable[str]] = None,
+) -> List[ScenarioResult]:
+    """Run the profile's scenarios (optionally a subset) in order."""
+    try:
+        profile_params = PROFILES[profile]
+    except KeyError:
+        raise BenchmarkError(
+            "unknown profile %r (choose from %s)"
+            % (profile, ", ".join(sorted(PROFILES)))
+        ) from None
+    selected = list(only) if only is not None else list(profile_params)
+    for name in selected:
+        if name not in SCENARIOS:
+            raise BenchmarkError(
+                "unknown scenario %r (choose from %s)"
+                % (name, ", ".join(sorted(SCENARIOS)))
+            )
+        if name not in profile_params:
+            raise BenchmarkError(
+                "scenario %r has no parameters in profile %r" % (name, profile)
+            )
+    return [
+        SCENARIOS[name](profile_params[name], seed) for name in selected
+    ]
+
+
+def to_json_payload(
+    results: List[ScenarioResult], profile: str, seed: int
+) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench_id": BENCH_ID,
+        "profile": profile,
+        "seed": seed,
+        "scenarios": {result.name: result.to_json() for result in results},
+    }
+
+
+def compare_to_baseline(
+    results: List[ScenarioResult],
+    baseline: Dict,
+    max_regression: float = 0.30,
+) -> Tuple[bool, List[str]]:
+    """Gate ``results`` against a baseline JSON document.
+
+    Returns ``(ok, lines)``: one human-readable line per scenario, and
+    ``ok`` is False iff any scenario regressed beyond ``max_regression``
+    (fractional, e.g. 0.30 = 30%).
+    """
+    if not isinstance(baseline, dict) or "scenarios" not in baseline:
+        raise BenchmarkError("baseline document has no 'scenarios' section")
+    if baseline.get("schema") != SCHEMA_VERSION:
+        raise BenchmarkError(
+            "baseline schema %r does not match current schema %r"
+            % (baseline.get("schema"), SCHEMA_VERSION)
+        )
+    base_scenarios = baseline["scenarios"]
+    ok = True
+    lines = []
+    seen = set()
+    for result in results:
+        seen.add(result.name)
+        base = base_scenarios.get(result.name)
+        if base is None:
+            lines.append("%-18s NEW (no baseline entry)" % result.name)
+            continue
+        base_rate = float(base["ops_per_sec"])
+        if base_rate <= 0:
+            lines.append("%-18s SKIP (baseline rate is zero)" % result.name)
+            continue
+        change = result.ops_per_sec / base_rate - 1.0
+        regressed = change < -max_regression
+        ok = ok and not regressed
+        lines.append(
+            "%-18s %s %.0f -> %.0f ops/sec (%+.1f%%, threshold -%.0f%%)"
+            % (
+                result.name,
+                "FAIL" if regressed else "ok  ",
+                base_rate,
+                result.ops_per_sec,
+                100.0 * change,
+                100.0 * max_regression,
+            )
+        )
+    for name in sorted(set(base_scenarios) - seen):
+        lines.append("%-18s MISSING from this run (baseline-only)" % name)
+    return ok, lines
+
+
+def format_results(results: List[ScenarioResult]) -> str:
+    """A human-readable table of the run."""
+    lines = ["%-18s %14s %10s  %s" % ("scenario", "ops/sec", "events", "metrics")]
+    for result in results:
+        metrics = ", ".join(
+            "%s=%s" % (key, ("%.4g" % value) if isinstance(value, float) else value)
+            for key, value in sorted(result.metrics.items())
+        )
+        lines.append(
+            "%-18s %14.0f %10d  %s"
+            % (result.name, result.ops_per_sec, result.events, metrics)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""The result record one benchmark scenario produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurement.
+
+    ``ops_per_sec`` is the scenario's primary rate (what the regression
+    gate compares); ``events`` counts the deterministic units of work
+    performed (tokens routed, batches fed, simulator events), which is
+    seed-stable across machines; ``metrics`` carries scenario-specific
+    secondary numbers.
+    """
+
+    name: str
+    ops_per_sec: float
+    events: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        return {
+            "ops_per_sec": round(self.ops_per_sec, 2),
+            "events": self.events,
+            "metrics": {
+                key: (round(value, 4) if isinstance(value, float) else value)
+                for key, value in sorted(self.metrics.items())
+            },
+        }

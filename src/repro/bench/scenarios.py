@@ -1,0 +1,215 @@
+"""Benchmark scenarios: seeded workloads over the repro hot paths.
+
+Each scenario is a function ``(params, seed) -> ScenarioResult`` taking
+its profile parameters. Wall-clock time is measured with
+``time.perf_counter`` (this package is outside ``repro.sim`` /
+``repro.runtime``, where simulated time is mandatory); all workload
+randomness comes from an explicit ``random.Random(seed)`` so the *work*
+is identical across machines and only the speed varies.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List
+
+from repro.bench.result import ScenarioResult
+from repro.core.bitonic import bitonic_network
+from repro.errors import BenchmarkError
+from repro.runtime.system import AdaptiveCountingSystem
+
+
+def _best_elapsed(run: Callable[[], None], repeats: int) -> float:
+    """Smallest wall-clock time of ``repeats`` runs of ``run``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9)
+
+
+# ----------------------------------------------------------------------
+# scenario: single-token routing (table fast path vs linear scan)
+# ----------------------------------------------------------------------
+def bench_token_routing(params: Dict, seed: int) -> ScenarioResult:
+    """Route a seeded token stream through ``BITONIC[w]`` twice: once
+    with the precomputed routing tables (:meth:`feed_token`) and once
+    with the O(width) per-layer linear scan it replaced
+    (:meth:`feed_token_scan`). Reports both rates and the speedup; the
+    two paths must agree token-for-token or the scenario aborts.
+    """
+    width = params["width"]
+    tokens = params["tokens"]
+    rng = random.Random(seed)
+    wires = [rng.randrange(width) for _ in range(tokens)]
+
+    fast_net = bitonic_network(width)
+    scan_net = bitonic_network(width)
+    fast_outputs = [fast_net.feed_token(wire) for wire in wires]
+    scan_outputs = [scan_net.feed_token_scan(wire) for wire in wires]
+    if fast_outputs != scan_outputs or fast_net.output_counts != scan_net.output_counts:
+        raise BenchmarkError(
+            "routing-table fast path diverged from the linear-scan "
+            "reference at width %d" % width
+        )
+
+    def run_fast() -> None:
+        net = bitonic_network(width)
+        feed = net.feed_token
+        for wire in wires:
+            feed(wire)
+
+    def run_scan() -> None:
+        net = bitonic_network(width)
+        feed = net.feed_token_scan
+        for wire in wires:
+            feed(wire)
+
+    repeats = params.get("repeats", 3)
+    fast_elapsed = _best_elapsed(run_fast, repeats)
+    scan_elapsed = _best_elapsed(run_scan, repeats)
+    fast_rate = tokens / fast_elapsed
+    scan_rate = tokens / scan_elapsed
+    return ScenarioResult(
+        name="token_routing",
+        ops_per_sec=fast_rate,
+        events=tokens,
+        metrics={
+            "width": width,
+            "depth": fast_net.depth,
+            "scan_ops_per_sec": scan_rate,
+            "speedup_vs_scan": fast_rate / scan_rate,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario: quiescent batch propagation
+# ----------------------------------------------------------------------
+def bench_batch_counts(params: Dict, seed: int) -> ScenarioResult:
+    """Push seeded random batches through ``feed_counts``; the rate is
+    tokens (not batches) per second, so profiles with heavier batches
+    remain comparable."""
+    width = params["width"]
+    batches = params["batches"]
+    max_per_wire = params["max_per_wire"]
+    rng = random.Random(seed)
+    workload: List[List[int]] = [
+        [rng.randrange(max_per_wire + 1) for _ in range(width)]
+        for _ in range(batches)
+    ]
+    total_tokens = sum(sum(batch) for batch in workload)
+
+    def run() -> None:
+        net = bitonic_network(width)
+        feed = net.feed_counts
+        for batch in workload:
+            feed(batch)
+
+    elapsed = _best_elapsed(run, params.get("repeats", 3))
+    return ScenarioResult(
+        name="batch_counts",
+        ops_per_sec=total_tokens / elapsed,
+        events=batches,
+        metrics={
+            "width": width,
+            "tokens_per_batch": total_tokens / batches,
+            "batches_per_sec": batches / elapsed,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario: inject-to-retire under churn
+# ----------------------------------------------------------------------
+def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
+    """End-to-end token plane: converge a system, then inject a token
+    stream while nodes join and crash underneath it. The rate counts
+    retired tokens per wall-clock second; simulator events and token
+    statistics come along as metrics. Invariants are verified at the
+    end — a benchmark run that corrupts the counter reports nothing.
+    """
+    width = params["width"]
+    nodes = params["nodes"]
+    tokens = params["tokens"]
+    churn_every = params["churn_every"]
+
+    system = AdaptiveCountingSystem(width=width, seed=seed, initial_nodes=nodes)
+    system.converge()
+    events_before = system.sim.events_run
+
+    start = time.perf_counter()
+    churn_flip = True
+    for index in range(tokens):
+        system.inject_token()
+        if churn_every and index and index % churn_every == 0:
+            if churn_flip:
+                system.add_node()
+            else:
+                system.crash_node()
+            churn_flip = not churn_flip
+    system.run_until_quiescent()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    system.verify()
+
+    stats = system.token_stats
+    return ScenarioResult(
+        name="inject_to_retire",
+        ops_per_sec=stats.retired / elapsed,
+        events=system.sim.events_run - events_before,
+        metrics={
+            "width": width,
+            "nodes": system.num_nodes,
+            "retired": stats.retired,
+            "dropped": stats.dropped,
+            "mean_hops": stats.mean_hops,
+            "mean_sim_latency": stats.mean_latency,
+            "crashes": system.stats.crashes,
+            "messages_sent": system.bus.messages_sent,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario: rules convergence while growing
+# ----------------------------------------------------------------------
+def bench_converge(params: Dict, seed: int) -> ScenarioResult:
+    """Grow a one-node system to ``nodes`` and let the Section 3.2
+    rules converge; the rate is nodes absorbed per wall-clock second
+    (join handoffs + splitting/merging until fixpoint)."""
+    width = params["width"]
+    nodes = params["nodes"]
+
+    start = time.perf_counter()
+    system = AdaptiveCountingSystem(width=width, seed=seed, initial_nodes=1)
+    for _ in range(nodes - 1):
+        system.add_node()
+    rounds = system.converge()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+
+    metrics = system.metrics()
+    return ScenarioResult(
+        name="converge",
+        ops_per_sec=nodes / elapsed,
+        events=system.sim.events_run,
+        metrics={
+            "width": width,
+            "nodes": nodes,
+            "rounds": rounds,
+            "splits": system.stats.splits,
+            "merges": system.stats.merges,
+            "components": metrics.num_components,
+            "effective_width": metrics.effective_width,
+            "effective_depth": metrics.effective_depth,
+        },
+    )
+
+
+SCENARIOS: Dict[str, Callable[[Dict, int], ScenarioResult]] = {
+    "token_routing": bench_token_routing,
+    "batch_counts": bench_batch_counts,
+    "inject_to_retire": bench_inject_to_retire,
+    "converge": bench_converge,
+}

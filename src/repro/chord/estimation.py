@@ -19,6 +19,7 @@ ablation experiment can sweep it.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
 
@@ -91,12 +92,26 @@ class LevelEstimator:
     ):
         self.tree = tree if tree is not None else TheoryModel(width).tree
         self.sizes = SizeEstimator(ring, step_multiplier)
+        # phi is strictly increasing for T_w (Fact 1: phi(k+1) >= 2
+        # phi(k)), so the level lookup — called once per node per rules
+        # round — is a bisect over this table instead of a full-level
+        # phi scan. Generic trees (repro.ext) may have non-monotone
+        # level censuses; those keep the scan.
+        self._phi_table = [
+            self.tree.phi(level) for level in range(self.tree.max_level + 1)
+        ]
+        self._phi_monotone = all(
+            earlier < later
+            for earlier, later in zip(self._phi_table, self._phi_table[1:])
+        )
 
     def level_for_estimate(self, estimate: float) -> int:
         """The largest level with ``phi(level) < estimate``."""
+        if self._phi_monotone:
+            return max(0, bisect_left(self._phi_table, estimate) - 1)
         best = 0
-        for level in range(self.tree.max_level + 1):
-            if self.tree.phi(level) < estimate:
+        for level, phi in enumerate(self._phi_table):
+            if phi < estimate:
                 best = level
         return best
 

@@ -17,6 +17,11 @@ Commands
     lint the codebase (``--lint``), verify protocol message flow
     (``--protocol``), or bounded-model-check the Chord/runtime
     protocols over all small-scope schedules (``--model-check``).
+``bench``
+    Seeded performance scenarios (``repro.bench``): token routing
+    (table fast path vs linear scan), batch counts, inject-to-retire
+    under churn, and convergence; emits ``BENCH_*.json`` and gates
+    against a committed baseline (``--baseline``).
 """
 
 from __future__ import annotations
@@ -203,6 +208,53 @@ def cmd_check(args) -> int:
     return run.exit_code
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import (
+        compare_to_baseline,
+        format_results,
+        run_bench,
+        to_json_payload,
+    )
+    from repro.errors import BenchmarkError
+
+    try:
+        results = run_bench(
+            profile=args.profile, seed=args.seed, only=args.scenario
+        )
+    except BenchmarkError as exc:
+        print("repro bench: error: %s" % exc, file=sys.stderr)
+        return 2
+    payload = to_json_payload(results, args.profile, args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_results(results))
+    exit_code = 0
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+            ok, lines = compare_to_baseline(
+                results, baseline, max_regression=args.max_regression
+            )
+        except (OSError, ValueError, BenchmarkError) as exc:
+            print("repro bench: error: %s" % exc, file=sys.stderr)
+            return 2
+        report = "baseline %s:\n%s" % (args.baseline, "\n".join(lines))
+        # With --json, stdout stays machine-readable; the comparison
+        # report goes to stderr instead.
+        print(report, file=sys.stderr if args.json else sys.stdout)
+        if not ok:
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -296,6 +348,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--json", action="store_true", help="machine-readable output")
     check.set_defaults(func=cmd_check)
+
+    bench = sub.add_parser("bench", help="seeded performance scenarios (repro.bench)")
+    bench.add_argument(
+        "--profile",
+        choices=["smoke", "small", "large"],
+        default="small",
+        help="workload size (smoke is the CI gate, small the committed baseline)",
+    )
+    bench.add_argument("--seed", type=int, default=0, help="workload random seed")
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only this scenario (repeatable)",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON document to PATH (e.g. BENCH_3.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare against a committed BENCH_*.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fractional ops/sec regression tolerated per scenario (default 0.30)",
+    )
+    bench.add_argument("--json", action="store_true", help="print the JSON document")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -15,12 +15,15 @@ every balancer by a max-up comparator yields a sorting network).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.components import balanced_counts
 from repro.errors import StructureError
 
 Layer = List[Tuple[int, int]]
+
+#: One routing-table entry: ``(balancer_index, top_wire, bottom_wire)``.
+RouteEntry = Tuple[int, int, int]
 
 
 class BalancingNetwork:
@@ -48,6 +51,17 @@ class BalancingNetwork:
         # One toggle per balancer: tokens seen so far.
         self._toggles = [[0] * len(layer) for layer in self.layers]
         self.output_counts = [0] * width
+        # Per-layer routing tables: ``table[wire]`` is the balancer
+        # touching ``wire`` in that layer (or None), so routing one
+        # token is O(depth) instead of a scan over every balancer.
+        self._routing: List[List[Optional[RouteEntry]]] = []
+        for layer in self.layers:
+            table: List[Optional[RouteEntry]] = [None] * width
+            for index, (top, bottom) in enumerate(layer):
+                entry = (index, top, bottom)
+                table[top] = entry
+                table[bottom] = entry
+            self._routing.append(table)
 
     @property
     def depth(self) -> int:
@@ -73,10 +87,17 @@ class BalancingNetwork:
             raise StructureError(
                 "expected %d input counts, got %d" % (self.width, len(input_counts))
             )
+        for wire, count in enumerate(input_counts):
+            if count < 0:
+                raise StructureError(
+                    "negative input count %d on wire %d" % (count, wire)
+                )
         on_wire = list(input_counts)
         for layer, toggles in zip(self.layers, self._toggles):
             for index, (top, bottom) in enumerate(layer):
                 arriving = on_wire[top] + on_wire[bottom]
+                if not arriving:
+                    continue  # balancer untouched: state and wires unchanged
                 out_top, out_bottom = balanced_counts(toggles[index] % 2, arriving, 2)
                 toggles[index] += arriving
                 on_wire[top], on_wire[bottom] = out_top, out_bottom
@@ -90,7 +111,33 @@ class BalancingNetwork:
     # ------------------------------------------------------------------
     def feed_token(self, wire: int) -> int:
         """Route a single token entering on input ``wire``; returns the
-        network output position it leaves on."""
+        network output position it leaves on.
+
+        Uses the precomputed per-wire routing tables: one O(1) lookup
+        per layer rather than a scan over the layer's balancers.
+        """
+        if not 0 <= wire < self.width:
+            raise StructureError("input wire %d out of range" % wire)
+        current = wire
+        for table, toggles in zip(self._routing, self._toggles):
+            entry = table[current]
+            if entry is None:
+                continue
+            index, top, bottom = entry
+            current = top if toggles[index] % 2 == 0 else bottom
+            toggles[index] += 1
+        position = self._position[current]
+        self.output_counts[position] += 1
+        return position
+
+    def feed_token_scan(self, wire: int) -> int:
+        """Reference implementation of :meth:`feed_token` that finds the
+        balancer touching the current wire by scanning every balancer of
+        every layer (O(width * depth) per token). Kept as the oracle for
+        the routing-table property tests and the ``token_routing``
+        benchmark's before/after comparison; behaviour is bit-identical
+        to :meth:`feed_token`.
+        """
         if not 0 <= wire < self.width:
             raise StructureError("input wire %d out of range" % wire)
         current = wire
@@ -116,9 +163,8 @@ class BalancingNetwork:
         on_wire = list(bits)
         for layer in self.layers:
             for top, bottom in layer:
-                hi = max(on_wire[top], on_wire[bottom])
-                lo = min(on_wire[top], on_wire[bottom])
-                on_wire[top], on_wire[bottom] = hi, lo
+                if on_wire[bottom] > on_wire[top]:
+                    on_wire[top], on_wire[bottom] = on_wire[bottom], on_wire[top]
         out = [on_wire[wire] for wire in self.output_order]
         return all(out[i] >= out[i + 1] for i in range(len(out) - 1))
 

@@ -59,6 +59,7 @@ class MembershipManager:
         node = system.ring.join(name)
         host = NodeHost(node, system)
         system.hosts[node.node_id] = host
+        system.note_node_joined(node.node_id)
         system.bus.register(node.node_id, host)
         self._rehome_components()
         return node
@@ -120,6 +121,7 @@ class MembershipManager:
             system.stats.handoffs += 1
         system.bus.unregister(node_id)
         del system.hosts[node_id]
+        system.note_node_left(node_id)
         system.advance(2 * system.control_latency)
         system.invalidate_caches()
 
@@ -146,6 +148,7 @@ class MembershipManager:
         for path in report.lost_components:
             system.directory.unregister(path)
         del system.hosts[node_id]
+        system.note_node_left(node_id)
         system.invalidate_caches()
         system.stats.crashes += 1
         return report

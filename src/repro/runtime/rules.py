@@ -33,16 +33,16 @@ class RulesEngine:
             raise ValueError("hysteresis must be nonnegative")
         self.system = system
         self.hysteresis = hysteresis
+        # One estimator for the engine's lifetime: it reads the live
+        # ring by reference, and caching it keeps the precomputed phi
+        # table out of the per-node evaluation path.
+        self._estimator = LevelEstimator(
+            system.width, system.ring, system.step_multiplier, tree=system.tree
+        )
 
     def node_level(self, host: NodeHost) -> int:
         """The node's current level estimate ``ell_v`` (Section 3.1)."""
-        estimator = LevelEstimator(
-            self.system.width,
-            self.system.ring,
-            self.system.step_multiplier,
-            tree=self.system.tree,
-        )
-        return estimator.level_estimate(host.node_id)
+        return self._estimator.level_estimate(host.node_id)
 
     def evaluate(self, host: NodeHost) -> int:
         """Apply both rules at ``host``; returns the number of actions."""

@@ -37,10 +37,17 @@ class TokenMsg:
 
 @dataclass
 class TokenStats:
-    """Aggregate token-plane statistics for one run."""
+    """Aggregate token-plane statistics for one run.
+
+    ``dropped`` counts tokens that exhausted their reroute budget and
+    gave up (only reachable with recovery disabled); every issued token
+    either retires or drops, so ``retired + dropped == issued`` at
+    quiescence.
+    """
 
     issued: int = 0
     retired: int = 0
+    dropped: int = 0
     total_hops: int = 0
     total_reroutes: int = 0
     latencies: list = field(default_factory=list)
@@ -50,6 +57,9 @@ class TokenStats:
         self.total_hops += token.hops
         self.total_reroutes += token.reroutes
         self.latencies.append(token.latency)
+
+    def record_dropped(self, token: Token) -> None:
+        self.dropped += 1
 
     @property
     def mean_hops(self) -> float:

@@ -56,27 +56,33 @@ class Simulator:
         """Run events until the queue drains; returns events executed.
 
         ``max_events`` guards against protocol bugs that would otherwise
-        spin forever; exceeding it raises :class:`SimulationError`.
+        spin forever: at most ``max_events`` events are executed, and
+        needing more raises :class:`SimulationError`. The bound is
+        checked *before* each event so it is exact (a run that quiesces
+        in exactly ``max_events`` events succeeds; one that would need
+        ``max_events + 1`` never runs the extra event).
         """
         executed = 0
-        while self.step():
-            executed += 1
-            if max_events is not None and executed > max_events:
+        while self._queue:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     "simulation did not quiesce within %d events" % max_events
                 )
+            self.step()
+            executed += 1
         return executed
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
         """Run all events scheduled strictly before ``time``; advances
-        the clock to ``time``."""
+        the clock to ``time``. ``max_events`` bounds execution exactly,
+        as in :meth:`run_until_idle`."""
         executed = 0
         while self._queue and self._queue[0][0] < time:
-            self.step()
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     "too many events before time %r" % time
                 )
+            self.step()
+            executed += 1
         self.now = max(self.now, time)
         return executed

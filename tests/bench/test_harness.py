@@ -1,0 +1,114 @@
+"""Tests for the ``repro.bench`` harness: scenario selection, the JSON
+schema, and the baseline regression gate."""
+
+import pytest
+
+from repro.bench import (
+    BENCH_ID,
+    PROFILES,
+    SCHEMA_VERSION,
+    ScenarioResult,
+    compare_to_baseline,
+    run_bench,
+    to_json_payload,
+)
+from repro.bench.scenarios import SCENARIOS, bench_token_routing
+from repro.errors import BenchmarkError
+
+
+def tiny_routing_result(seed=0):
+    return bench_token_routing({"width": 64, "tokens": 200, "repeats": 1}, seed)
+
+
+class TestRunner:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown profile"):
+            run_bench(profile="gigantic")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(BenchmarkError, match="unknown scenario"):
+            run_bench(profile="smoke", only=["warp_drive"])
+
+    def test_every_profile_parameterises_every_scenario(self):
+        for profile, params in PROFILES.items():
+            assert set(params) == set(SCENARIOS), profile
+
+    def test_token_routing_scenario(self):
+        result = tiny_routing_result()
+        assert result.name == "token_routing"
+        assert result.ops_per_sec > 0
+        assert result.events == 200
+        assert result.metrics["speedup_vs_scan"] > 0
+        assert result.metrics["width"] == 64
+
+    def test_token_routing_fast_path_beats_scan_at_width_64(self):
+        """The acceptance bar for the routing tables: >= 5x over the
+        linear scan at width 64 (measured, not assumed)."""
+        result = bench_token_routing(
+            {"width": 64, "tokens": 5000, "repeats": 3}, seed=0
+        )
+        assert result.metrics["speedup_vs_scan"] >= 5.0
+
+
+class TestJsonPayload:
+    def test_schema_shape(self):
+        result = tiny_routing_result()
+        payload = to_json_payload([result], profile="smoke", seed=0)
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["bench_id"] == BENCH_ID
+        assert payload["profile"] == "smoke"
+        assert payload["seed"] == 0
+        entry = payload["scenarios"]["token_routing"]
+        assert set(entry) == {"ops_per_sec", "events", "metrics"}
+
+
+class TestBaselineGate:
+    def make_baseline(self, name, rate):
+        return {
+            "schema": SCHEMA_VERSION,
+            "bench_id": BENCH_ID,
+            "profile": "smoke",
+            "seed": 0,
+            "scenarios": {name: {"ops_per_sec": rate, "events": 1, "metrics": {}}},
+        }
+
+    def result(self, name, rate):
+        return ScenarioResult(name=name, ops_per_sec=rate, events=1)
+
+    def test_within_threshold_passes(self):
+        ok, lines = compare_to_baseline(
+            [self.result("a", 80.0)], self.make_baseline("a", 100.0), 0.30
+        )
+        assert ok
+        assert "ok" in lines[0]
+
+    def test_regression_beyond_threshold_fails(self):
+        ok, lines = compare_to_baseline(
+            [self.result("a", 60.0)], self.make_baseline("a", 100.0), 0.30
+        )
+        assert not ok
+        assert "FAIL" in lines[0]
+
+    def test_improvement_passes(self):
+        ok, _ = compare_to_baseline(
+            [self.result("a", 500.0)], self.make_baseline("a", 100.0), 0.30
+        )
+        assert ok
+
+    def test_new_scenario_never_fails(self):
+        ok, lines = compare_to_baseline(
+            [self.result("b", 1.0)], self.make_baseline("a", 100.0), 0.30
+        )
+        assert ok
+        assert any("NEW" in line for line in lines)
+        assert any("MISSING" in line for line in lines)
+
+    def test_schema_mismatch_rejected(self):
+        baseline = self.make_baseline("a", 100.0)
+        baseline["schema"] = 999
+        with pytest.raises(BenchmarkError, match="schema"):
+            compare_to_baseline([self.result("a", 100.0)], baseline)
+
+    def test_malformed_baseline_rejected(self):
+        with pytest.raises(BenchmarkError, match="scenarios"):
+            compare_to_baseline([self.result("a", 100.0)], {"oops": 1})

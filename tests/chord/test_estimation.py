@@ -96,3 +96,45 @@ class TestLevelEstimator:
         levels = LevelEstimator(8, ring)  # T_8 has max level 2
         for node in ring.nodes()[:50]:
             assert levels.level_estimate(node.node_id) <= 2
+
+    @pytest.mark.parametrize("width", [8, 64, 1024])
+    def test_bisect_matches_phi_scan(self, width):
+        """The bisect over the precomputed phi table is pinned to the
+        full-level scan it replaced, across every phi boundary."""
+        ring = build_ring(2, seed=7)
+        levels = LevelEstimator(width, ring)
+        tree = levels.tree
+
+        def scan(estimate):
+            best = 0
+            for level in range(tree.max_level + 1):
+                if tree.phi(level) < estimate:
+                    best = level
+            return best
+
+        probes = [0.0, 0.5, 1.0]
+        for level in range(tree.max_level + 1):
+            phi = tree.phi(level)
+            probes.extend([phi - 0.5, float(phi), phi + 0.5, phi + 1.0])
+        probes.append(10.0 * tree.phi(tree.max_level))
+        for estimate in probes:
+            assert levels.level_for_estimate(estimate) == scan(estimate), estimate
+
+    def test_non_monotone_phi_falls_back_to_scan(self):
+        """Generic trees (repro.ext) may have non-monotone level
+        censuses; the estimator must then keep the scan semantics."""
+
+        class BumpyTree:
+            max_level = 3
+
+            def phi(self, level):
+                return [1, 9, 4, 12][level]
+
+        ring = build_ring(2, seed=8)
+        levels = LevelEstimator(8, ring, tree=BumpyTree())
+        assert not levels._phi_monotone
+        # largest level with phi < estimate, by the scan definition:
+        assert levels.level_for_estimate(5.0) == 2  # phi(2)=4 < 5, phi(1)=9 not
+        assert levels.level_for_estimate(10.0) == 2
+        assert levels.level_for_estimate(13.0) == 3
+        assert levels.level_for_estimate(1.0) == 0

@@ -1,0 +1,128 @@
+"""Property tests pinning the routing-table fast path to the old
+balancer-scan semantics, and the new ``feed_counts`` input validation."""
+
+import random
+
+import pytest
+
+from repro.core.bitonic import bitonic_network
+from repro.core.components import balanced_counts
+from repro.core.network import BalancingNetwork
+from repro.core.periodic import periodic_network
+from repro.errors import StructureError
+
+
+def random_network(rng, width):
+    """A random layered network: each layer pairs up a random subset of
+    wires (including layers that leave some wires untouched)."""
+    layers = []
+    for _ in range(rng.randrange(1, 8)):
+        wires = list(range(width))
+        rng.shuffle(wires)
+        keep = rng.randrange(0, width // 2 + 1)
+        layer = []
+        for i in range(keep):
+            a, b = wires[2 * i], wires[2 * i + 1]
+            layer.append((min(a, b), max(a, b)))
+        layers.append(layer)
+    order = list(range(width))
+    rng.shuffle(order)
+    return lambda: BalancingNetwork(width, layers, order)
+
+
+def reference_feed_counts(net, input_counts):
+    """The pre-routing-table ``feed_counts`` loop, verbatim (no zero
+    skip), run against the same layers/toggles representation."""
+    on_wire = list(input_counts)
+    for layer, toggles in zip(net.layers, net._toggles):
+        for index, (top, bottom) in enumerate(layer):
+            arriving = on_wire[top] + on_wire[bottom]
+            out_top, out_bottom = balanced_counts(toggles[index] % 2, arriving, 2)
+            toggles[index] += arriving
+            on_wire[top], on_wire[bottom] = out_top, out_bottom
+    batch = [on_wire[wire] for wire in net.output_order]
+    for j, count in enumerate(batch):
+        net.output_counts[j] += count
+    return batch
+
+
+class TestRoutingTableEquivalence:
+    @pytest.mark.parametrize("width", [2, 8, 16, 64])
+    def test_bitonic_feed_token_matches_scan(self, width):
+        fast = bitonic_network(width)
+        scan = bitonic_network(width)
+        rng = random.Random(width)
+        wires = [rng.randrange(width) for _ in range(20 * width)]
+        assert [fast.feed_token(w) for w in wires] == [
+            scan.feed_token_scan(w) for w in wires
+        ]
+        assert fast._toggles == scan._toggles
+        assert fast.output_counts == scan.output_counts
+
+    def test_random_networks_feed_token_matches_scan(self):
+        rng = random.Random(7)
+        for trial in range(50):
+            width = rng.choice([4, 6, 8, 16])
+            build = random_network(rng, width)
+            fast, scan = build(), build()
+            wires = [rng.randrange(width) for _ in range(100)]
+            assert [fast.feed_token(w) for w in wires] == [
+                scan.feed_token_scan(w) for w in wires
+            ], "trial %d diverged" % trial
+            assert fast._toggles == scan._toggles
+            assert fast.output_counts == scan.output_counts
+
+    def test_random_networks_feed_counts_matches_reference(self):
+        rng = random.Random(11)
+        for trial in range(50):
+            width = rng.choice([4, 6, 8, 16])
+            build = random_network(rng, width)
+            new, old = build(), build()
+            for _ in range(5):
+                batch = [rng.randrange(6) for _ in range(width)]
+                assert new.feed_counts(batch) == reference_feed_counts(old, batch), (
+                    "trial %d diverged" % trial
+                )
+            assert new._toggles == old._toggles
+            assert new.output_counts == old.output_counts
+
+    def test_token_and_scan_paths_interleave(self):
+        """The two entry points share the toggles, so they can be mixed
+        mid-stream and still agree with a pure-scan run."""
+        mixed = bitonic_network(8)
+        pure = bitonic_network(8)
+        rng = random.Random(3)
+        for i in range(200):
+            wire = rng.randrange(8)
+            routed = (
+                mixed.feed_token(wire) if i % 2 else mixed.feed_token_scan(wire)
+            )
+            assert routed == pure.feed_token_scan(wire)
+
+    def test_periodic_network_equivalence(self):
+        fast = periodic_network(8)
+        scan = periodic_network(8)
+        for wire in list(range(8)) * 10:
+            assert fast.feed_token(wire) == scan.feed_token_scan(wire)
+
+
+class TestFeedCountsValidation:
+    def test_negative_count_rejected(self):
+        net = bitonic_network(4)
+        with pytest.raises(StructureError, match="negative input count"):
+            net.feed_counts([1, -1, 0, 0])
+
+    def test_rejected_batch_leaves_state_untouched(self):
+        net = bitonic_network(4)
+        net.feed_counts([1, 2, 3, 4])
+        toggles = [list(t) for t in net._toggles]
+        counts = list(net.output_counts)
+        with pytest.raises(StructureError):
+            net.feed_counts([5, 6, -7, 8])
+        assert net._toggles == toggles
+        assert net.output_counts == counts
+
+    def test_zero_batch_is_noop(self):
+        net = bitonic_network(4)
+        assert net.feed_counts([0, 0, 0, 0]) == [0, 0, 0, 0]
+        assert net.output_counts == [0, 0, 0, 0]

@@ -71,6 +71,38 @@ class TestRunning:
         with pytest.raises(SimulationError):
             sim.run_until_idle(max_events=100)
 
+    def test_run_until_idle_bound_is_exact(self):
+        """Regression: the bound used to fire only after running
+        ``max_events + 1`` events; it must be exact — quiescing in
+        exactly ``max_events`` succeeds, needing one more raises
+        without executing the extra event."""
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run_until_idle(max_events=10) == 10
+
+        sim = Simulator()
+        log = []
+        for i in range(11):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=10)
+        assert log == list(range(10))  # the 11th event never ran
+        assert sim.events_run == 10
+
+    def test_run_until_bound_is_exact(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run_until(2.0, max_events=10) == 10
+
+        sim = Simulator()
+        for _ in range(11):
+            sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until(2.0, max_events=10)
+        assert sim.events_run == 10
+
     def test_run_until_advances_clock(self):
         sim = Simulator()
         log = []

@@ -33,3 +33,68 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestBenchCli:
+    def test_bench_smoke_json(self, capsys, tmp_path):
+        """`repro bench` runs a full profile, prints the JSON document,
+        and writes it to --output."""
+        output = tmp_path / "BENCH_3.json"
+        code = main(
+            ["bench", "--profile", "smoke", "--json", "--output", str(output)]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench_id"] == "BENCH_3"
+        assert len(payload["scenarios"]) >= 3
+        routing = payload["scenarios"]["token_routing"]
+        assert routing["metrics"]["speedup_vs_scan"] >= 5.0
+        assert json.loads(output.read_text()) == payload
+
+    def test_bench_single_scenario_text(self, capsys):
+        code = main(["bench", "--profile", "smoke", "--scenario", "batch_counts"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch_counts" in out
+        assert "token_routing" not in out
+
+    def test_bench_baseline_regression_fails(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "bench_id": "BENCH_3",
+                    "profile": "smoke",
+                    "seed": 0,
+                    "scenarios": {
+                        "batch_counts": {
+                            "ops_per_sec": 1e15,  # unbeatable
+                            "events": 1,
+                            "metrics": {},
+                        }
+                    },
+                }
+            )
+        )
+        code = main(
+            [
+                "bench",
+                "--profile",
+                "smoke",
+                "--scenario",
+                "batch_counts",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_unknown_scenario_errors(self, capsys):
+        assert main(["bench", "--scenario", "warp_drive"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
