@@ -4,7 +4,7 @@ The JSON document (``BENCH_*.json``) has a stable shape::
 
     {
       "schema": 1,
-      "bench_id": "BENCH_3",
+      "bench_id": "BENCH_4",
       "profile": "small",
       "seed": 0,
       "scenarios": {
@@ -33,8 +33,8 @@ from repro.errors import BenchmarkError
 
 SCHEMA_VERSION = 1
 
-#: This PR series' benchmark trajectory file (ISSUE 3).
-BENCH_ID = "BENCH_3"
+#: This PR series' benchmark trajectory file (ISSUE 4).
+BENCH_ID = "BENCH_4"
 
 #: Per-profile scenario parameters. ``token_routing`` keeps width 64 in
 #: every profile so the table-vs-scan speedup is always measured at the
@@ -44,18 +44,42 @@ PROFILES: Dict[str, Dict[str, Dict]] = {
         "token_routing": {"width": 64, "tokens": 4000, "repeats": 3},
         "batch_counts": {"width": 64, "batches": 200, "max_per_wire": 8, "repeats": 3},
         "inject_to_retire": {"width": 16, "nodes": 8, "tokens": 200, "churn_every": 50},
+        "large_churn": {
+            "width": 16,
+            "nodes": 32,
+            "tokens": 1000,
+            "duration": 200.0,
+            "join_rate": 0.05,
+            "crash_rate": 0.05,
+        },
         "converge": {"width": 32, "nodes": 12},
     },
     "small": {
         "token_routing": {"width": 64, "tokens": 20000, "repeats": 3},
         "batch_counts": {"width": 64, "batches": 1000, "max_per_wire": 16, "repeats": 3},
         "inject_to_retire": {"width": 16, "nodes": 16, "tokens": 600, "churn_every": 60},
+        "large_churn": {
+            "width": 32,
+            "nodes": 100,
+            "tokens": 8000,
+            "duration": 800.0,
+            "join_rate": 0.05,
+            "crash_rate": 0.05,
+        },
         "converge": {"width": 64, "nodes": 32},
     },
     "large": {
         "token_routing": {"width": 64, "tokens": 100000, "repeats": 5},
         "batch_counts": {"width": 256, "batches": 2000, "max_per_wire": 32, "repeats": 3},
         "inject_to_retire": {"width": 32, "nodes": 40, "tokens": 2500, "churn_every": 100},
+        "large_churn": {
+            "width": 32,
+            "nodes": 300,
+            "tokens": 30000,
+            "duration": 3000.0,
+            "join_rate": 0.05,
+            "crash_rate": 0.05,
+        },
         "converge": {"width": 128, "nodes": 80},
     },
 }

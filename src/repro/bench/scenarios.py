@@ -18,6 +18,7 @@ from repro.bench.result import ScenarioResult
 from repro.core.bitonic import bitonic_network
 from repro.errors import BenchmarkError
 from repro.runtime.system import AdaptiveCountingSystem
+from repro.sim.failures import churn_trace
 
 
 def _best_elapsed(run: Callable[[], None], repeats: int) -> float:
@@ -173,6 +174,87 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
 
 
 # ----------------------------------------------------------------------
+# scenario: large-scale churn (the ISSUE 4 event-core stress test)
+# ----------------------------------------------------------------------
+def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
+    """Sustained token load over a big ring under a seeded Poisson
+    membership trace. Unlike ``inject_to_retire`` (which churns every N
+    tokens), this scenario paces both injections and membership events
+    along simulated time: tokens are spread evenly over ``duration``
+    and a :func:`churn_trace` of joins and crashes is applied as its
+    events fall due, so timers, retries and recovery all overlap the
+    token stream the way they would in a long-running deployment.
+
+    The rate is retired tokens per wall-clock second. Every metric
+    besides the rate is a pure function of the seed (simulated time,
+    event counts, token statistics), which the determinism test relies
+    on: two runs with the same seed must produce identical ``events``
+    and ``metrics``.
+    """
+    width = params["width"]
+    nodes = params["nodes"]
+    tokens = params["tokens"]
+    duration = params["duration"]
+    join_rate = params["join_rate"]
+    crash_rate = params["crash_rate"]
+    min_nodes = params.get("min_nodes", 4)
+
+    system = AdaptiveCountingSystem(width=width, seed=seed, initial_nodes=nodes)
+    system.converge()
+    events_before = system.sim.events_run
+
+    # The membership trace is seeded independently of the system RNG so
+    # changing workload parameters never perturbs node placement.
+    trace = churn_trace(
+        random.Random(seed + 1),
+        duration=duration,
+        join_rate=join_rate,
+        leave_rate=0.0,
+        crash_rate=crash_rate,
+    )
+    step = duration / tokens
+    joins = crashes = 0
+
+    start = time.perf_counter()
+    trace_index = 0
+    for index in range(tokens):
+        target_time = (index + 1) * step
+        while trace_index < len(trace) and trace[trace_index].time <= target_time:
+            event = trace[trace_index]
+            trace_index += 1
+            if event.action == "join":
+                system.add_node()
+                joins += 1
+            elif system.num_nodes > min_nodes:
+                system.crash_node()
+                crashes += 1
+        system.advance(step)
+        system.inject_token()
+    system.run_until_quiescent()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    system.verify()
+
+    stats = system.token_stats
+    return ScenarioResult(
+        name="large_churn",
+        ops_per_sec=stats.retired / elapsed,
+        events=system.sim.events_run - events_before,
+        metrics={
+            "width": width,
+            "nodes": system.num_nodes,
+            "joins": joins,
+            "crashes": crashes,
+            "retired": stats.retired,
+            "dropped": stats.dropped,
+            "mean_hops": stats.mean_hops,
+            "mean_sim_latency": stats.mean_latency,
+            "messages_sent": system.bus.messages_sent,
+            "sim_time": system.sim.now,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # scenario: rules convergence while growing
 # ----------------------------------------------------------------------
 def bench_converge(params: Dict, seed: int) -> ScenarioResult:
@@ -211,5 +293,6 @@ SCENARIOS: Dict[str, Callable[[Dict, int], ScenarioResult]] = {
     "token_routing": bench_token_routing,
     "batch_counts": bench_batch_counts,
     "inject_to_retire": bench_inject_to_retire,
+    "large_churn": bench_large_churn,
     "converge": bench_converge,
 }

@@ -19,12 +19,13 @@ from repro.errors import RingError
 
 
 def finger_table(ring: ChordRing, node_id: int) -> List[ChordNode]:
-    """Chord fingers of a node: ``finger[i] = successor(n + 2^i)``."""
-    space = ring.space
-    fingers = []
-    for i in range(space.bits):
-        fingers.append(ring.successor((node_id + (1 << i)) % space.size))
-    return fingers
+    """Chord fingers of a node: ``finger[i] = successor(n + 2^i)``.
+
+    Delegates to :meth:`ChordRing.finger_table`, which memoises tables
+    until the next membership change; callers must not mutate the
+    returned list.
+    """
+    return ring.finger_table(node_id)
 
 
 def _in_open_interval(space_size: int, left: int, right: int, point: int) -> bool:

@@ -23,12 +23,11 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.chord.identifiers import IdentifierSpace
 from repro.errors import RingError
-from repro.sim.events import Simulator
+from repro.sim.events import EventHandle, Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.node import MessageBus, SimulatedProcess
 
@@ -44,20 +43,24 @@ RPC_TIMEOUT = 10.0
 MAX_JOIN_ATTEMPTS = 8
 
 
-@dataclass
 class _Rpc:
-    """One in-flight remote call."""
+    """One in-flight remote call (slotted: one per message on the wire)."""
 
-    method: str
-    args: tuple
-    reply_to: int
-    call_id: int
+    __slots__ = ("method", "args", "reply_to", "call_id")
+
+    def __init__(self, method: str, args: tuple, reply_to: int, call_id: int):
+        self.method = method
+        self.args = args
+        self.reply_to = reply_to
+        self.call_id = call_id
 
 
-@dataclass
 class _Reply:
-    call_id: int
-    value: object
+    __slots__ = ("call_id", "value")
+
+    def __init__(self, call_id: int, value: object):
+        self.call_id = call_id
+        self.value = value
 
 
 def _between(space_size: int, left: int, right: int, point: int) -> bool:
@@ -91,7 +94,12 @@ class ProtocolNode(SimulatedProcess):
         self.joined = False
         self._join_bootstrap: Optional[int] = None
         self._join_attempts = 0
-        self._pending: Dict[int, Callable[[object], None]] = {}
+        #: call_id -> (reply continuation, timeout-event handle). The
+        #: handle lets the reply path *cancel* the timeout guard instead
+        #: of leaving it in the event heap as a dead no-op closure until
+        #: its fire time — under churn workloads those dead timers used
+        #: to dominate the queue (every successful RPC left one behind).
+        self._pending: Dict[int, Tuple[Callable[[object], None], EventHandle]] = {}
         self._call_ids = itertools.count()
 
     # ------------------------------------------------------------------
@@ -106,25 +114,33 @@ class ProtocolNode(SimulatedProcess):
         on_timeout: Optional[Callable[[], None]] = None,
     ) -> None:
         call_id = next(self._call_ids)
-        self._pending[call_id] = on_reply
         rpc = _Rpc(method, args, self.node_id, call_id)
 
-        def timeout() -> None:
+        def expire() -> None:
             if not self.alive:
                 return  # a dead node's timers must not mutate its state
-            if self._pending.pop(call_id, None) is not None and on_timeout:
-                on_timeout()
+            entry = self._pending.pop(call_id, None)
+            if entry is not None:
+                # Undeliverable path: the timer is still armed; cancel
+                # it so it never fires as a dead event (a no-op when we
+                # *are* the timer firing).
+                self.network.sim.cancel(entry[1])
+                if on_timeout is not None:
+                    on_timeout()
 
-        self.network.bus.send(target, rpc, kind="chord", on_undeliverable=timeout)
-        self.network.sim.schedule(RPC_TIMEOUT, timeout)
+        timer = self.network.sim.schedule(RPC_TIMEOUT, expire)
+        self._pending[call_id] = (on_reply, timer)
+        self.network.bus.send(target, rpc, kind="chord", on_undeliverable=expire)
 
     def handle_message(self, message) -> None:
         if not self.alive:
             return
         if isinstance(message, _Reply):
-            handler = self._pending.pop(message.call_id, None)
-            if handler is not None:
-                handler(message.value)
+            entry = self._pending.pop(message.call_id, None)
+            if entry is not None:
+                on_reply, timer = entry
+                self.network.sim.cancel(timer)
+                on_reply(message.value)
             return
         if isinstance(message, _Rpc):
             if not self.joined:
@@ -408,6 +424,12 @@ class ChordProtocolNetwork:
         if node is None:
             raise RingError("no such node %#x" % node_id)
         node.alive = False
+        # A dead node's timeout guards can never act (the alive check
+        # above would no-op them anyway); cancel them so they leave the
+        # event heap immediately instead of firing as dead events.
+        for _handler, timer in node._pending.values():
+            self.sim.cancel(timer)
+        node._pending = {}
         self.bus.unregister(node_id)
 
     # ------------------------------------------------------------------

@@ -46,6 +46,19 @@ class ChordRing:
         self._ids: List[int] = []
         self._nodes: Dict[int, ChordNode] = {}
         self._join_counter = 0
+        #: Bumped on every membership change; derived structures (the
+        #: finger-table cache below, external memos) key off it.
+        self._version = 0
+        self._finger_cache: Dict[int, List[ChordNode]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership-change counter (joins and removals)."""
+        return self._version
+
+    def _membership_changed(self) -> None:
+        self._version += 1
+        self._finger_cache = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -85,6 +98,7 @@ class ChordRing:
         node = ChordNode(node_id, name)
         bisect.insort(self._ids, node_id)
         self._nodes[node_id] = node
+        self._membership_changed()
         return node
 
     def remove(self, node_id: int) -> ChordNode:
@@ -93,6 +107,7 @@ class ChordRing:
         index = bisect.bisect_left(self._ids, node_id)
         del self._ids[index]
         del self._nodes[node_id]
+        self._membership_changed()
         return node
 
     # ------------------------------------------------------------------
@@ -107,6 +122,33 @@ class ChordRing:
         if index == len(self._ids):
             index = 0
         return self._nodes[self._ids[index]]
+
+    def finger_table(self, node_id: int) -> List[ChordNode]:
+        """Chord fingers of a node: ``finger[i] = successor(n + 2^i)``.
+
+        Memoised until the next membership change — greedy lookups ask
+        for the same node's table O(log N) times per query, and the old
+        rebuild-per-call behaviour dominated the token hot path (~190k
+        ``successor`` bisects per 600 injections in the churn bench).
+        """
+        cached = self._finger_cache.get(node_id)
+        if cached is None:
+            if not self._ids:
+                raise RingError("finger table on an empty ring")
+            ids = self._ids
+            nodes = self._nodes
+            size = self.space.size
+            length = len(ids)
+            insert = bisect.bisect_left
+            cached = []
+            for i in range(self.space.bits):
+                point = (node_id + (1 << i)) % size
+                index = insert(ids, point)
+                if index == length:
+                    index = 0
+                cached.append(nodes[ids[index]])
+            self._finger_cache[node_id] = cached
+        return cached
 
     def succ_k(self, node_id: int, k: int) -> ChordNode:
         """The k-th clockwise successor of a node (``succ_1`` is the next

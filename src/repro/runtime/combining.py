@@ -22,12 +22,17 @@ from repro.runtime.tokens import Token
 Path = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
 class BatchTokenMsg:
     """Several tokens addressed to one component, one network message."""
 
-    path: Path
-    items: Tuple[Tuple[int, Token], ...]  # (port, token) pairs
+    __slots__ = ("path", "items")
+
+    def __init__(self, path: Path, items: Tuple[Tuple[int, Token], ...]):
+        self.path = path
+        self.items = items  # (port, token) pairs
+
+    def __repr__(self):
+        return "BatchTokenMsg(path=%r, items=%d)" % (self.path, len(self.items))
 
 
 @dataclass

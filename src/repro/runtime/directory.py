@@ -29,6 +29,11 @@ class ComponentDirectory:
         self.tree = tree
         self.ring = ring
         self._owner: Dict[Path, int] = {}
+        #: path -> hash point. A component's name (and therefore its
+        #: point) depends only on the fixed tree and identifier space,
+        #: so entries never invalidate; the memo spares the token hot
+        #: path a tree walk + SHA-1 per lookup.
+        self._points: Dict[Path, int] = {}
 
     # ------------------------------------------------------------------
     # naming and placement
@@ -40,7 +45,12 @@ class ComponentDirectory:
         return "cn/%d/%d" % (self.tree.width, self.tree.preorder_index(spec))
 
     def hash_point(self, path: Path) -> int:
-        return name_to_point(self.component_name(path), self.ring.space)
+        path = tuple(path)
+        point = self._points.get(path)
+        if point is None:
+            point = name_to_point(self.component_name(path), self.ring.space)
+            self._points[path] = point
+        return point
 
     def home(self, path: Path) -> int:
         """The node id that should host ``path`` under the current ring."""

@@ -101,8 +101,9 @@ class NodeHost(SimulatedProcess):
 
     def _handle_tokens(self, path: Path, items: List[Tuple[int, Token]]) -> None:
         system = self.system
-        for _ in items:
+        for _port, token in items:
             system.note_token_arrived(path)
+            system._unowe(token)
         if path in self.frozen:
             self.buffers.setdefault(path, []).extend(items)
             return

@@ -33,12 +33,18 @@ class InputLookup:
 
     def __init__(self, system):
         self.system = system
+        #: wire -> input leaf. The mapping is a property of the fixed
+        #: tree/wiring, so it is computed once per wire, not per token.
+        self._leaves: dict = {}
 
     def _input_leaf(self, wire: int):
         """The leaf that would accept network input ``wire`` in the
         fully-split network — the name a client starts from. Computed by
         descending the input wiring, which works for any recursive
         structure."""
+        leaf = self._leaves.get(wire)
+        if leaf is not None:
+            return leaf
         system = self.system
         spec = system.tree.root
         port = wire
@@ -46,6 +52,7 @@ class InputLookup:
             ref = system.wiring.parent_input_dest(spec, port)
             spec = spec.child(ref.child)
             port = ref.port
+        self._leaves[wire] = spec
         return spec
 
     def find(self, wire: int, start_node_id: int = None) -> LookupResult:

@@ -106,21 +106,36 @@ class Stabilizer:
     # reconstruction
     # ------------------------------------------------------------------
     def reconstruct(self, path: Path) -> ComponentState:
-        """Rebuild a lost component's state from its neighbours."""
+        """Rebuild a lost component's state from its neighbours.
+
+        An in-neighbour's counter says how many tokens it emitted toward
+        each input port — but emitted is not arrived. Tokens still on
+        the bus, bounced and awaiting a retry, or (for network inputs)
+        stuck in an injection-retry loop were counted by their source
+        and have *not* been routed by the lost component; counting them
+        as arrivals would advance the reconstructed round-robin pointer
+        past phantom tokens and permanently skew the output distribution
+        when they really arrive. Subtract the owed ledger so the
+        restored state is one the component could actually have reached.
+        """
         system = self.system
         spec = system.tree.node(tuple(path))
         arrivals = {}
         for port in range(spec.width):
             source = self.input_source(spec, port)
             if source[0] == "net":
-                count = system.injected_per_wire[source[1]]
+                count = (
+                    system.injected_per_wire[source[1]]
+                    - system._inject_pending[source[1]]
+                )
             else:
                 _, emitter_path, out_port = source
                 owner = system.directory.owner(emitter_path)
                 emitter = system.hosts[owner].components[emitter_path]
                 count = balanced_count_at(0, emitter.total, emitter.width, out_port)
                 system.stats.control_messages += 2  # query + reply
-            if count:
+            count -= system.tokens_owed(path, port)
+            if count > 0:
                 arrivals[port] = count
         total = sum(arrivals.values())
         return ComponentState(spec, total, arrivals)

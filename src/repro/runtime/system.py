@@ -116,6 +116,17 @@ class AdaptiveCountingSystem:
         self.output_counts = [0] * width
         self.lost_components: Set[Path] = set()
         self._inflight: Dict[Path, int] = {}
+        # Exact emitted-but-not-arrived accounting, used by crash
+        # recovery: (path, port) -> tokens owed to that input. A token
+        # stays owed across undeliverable bounces and retry waits, and
+        # moves keys when rerouted, so ``Stabilizer.reconstruct`` can
+        # subtract tokens its in-neighbours counted as departed that
+        # have not actually arrived.
+        self._owed: Dict[Tuple[Path, int], int] = {}
+        # Injected tokens whose input lookup failed and is pending a
+        # retry, per network wire: counted in ``injected_per_wire`` but
+        # not yet owed to any component.
+        self._inject_pending = [0] * width
         self._token_counter = 0
         self._next_wire = 0
         self._retire_callbacks: List[Callable[[Token], None]] = []
@@ -239,9 +250,13 @@ class AdaptiveCountingSystem:
                 self.stats.dropped_tokens += 1
                 self.token_stats.record_dropped(token)
                 return
-            self.sim.schedule(
-                RETRY_DELAY, lambda: self._attempt_injection(token, wire, from_node)
-            )
+            self._inject_pending[wire] += 1
+
+            def retry_injection() -> None:
+                self._inject_pending[wire] -= 1
+                self._attempt_injection(token, wire, from_node)
+
+            self.sim.schedule(RETRY_DELAY, retry_injection)
             return
         self.send_token(result.path, result.port, token)
 
@@ -264,6 +279,7 @@ class AdaptiveCountingSystem:
             self.reroute_token(path, port, token)
             return
         if self.combiner is not None:
+            self._owe(path, port, token)
             self.combiner.offer(path, port, token)
             return
         self.dispatch_batch(path, [(port, token)])
@@ -276,8 +292,9 @@ class AdaptiveCountingSystem:
                 self.reroute_token(path, port, token)
             return
         owner = self.directory.owner(path)
-        for _port, token in items:
+        for port, token in items:
             token.hops += 1
+            self._owe(path, port, token)
         self._inflight[path] = self._inflight.get(path, 0) + len(items)
         if len(items) == 1:
             port, token = items[0]
@@ -304,11 +321,45 @@ class AdaptiveCountingSystem:
         else:
             self._inflight.pop(path, None)
 
+    # ------------------------------------------------------------------
+    # emitted-but-not-arrived ledger (crash-recovery accounting)
+    # ------------------------------------------------------------------
+    def _owe(self, path: Path, port: int, token: Token) -> None:
+        """Record that ``token`` is owed to (``path``, ``port``): its
+        emitter has counted it as departed toward that input, but it has
+        not arrived there yet. Re-owing to the same key (a retry) is a
+        no-op; rerouting to a new address moves the count."""
+        key = (path, port)
+        if token.owed == key:
+            return
+        self._unowe(token)
+        token.owed = key
+        self._owed[key] = self._owed.get(key, 0) + 1
+
+    def _unowe(self, token: Token) -> None:
+        """The token arrived somewhere (or was dropped): settle its debt."""
+        key = token.owed
+        if key is None:
+            return
+        token.owed = None
+        remaining = self._owed[key] - 1
+        if remaining:
+            self._owed[key] = remaining
+        else:
+            del self._owed[key]
+
+    def tokens_owed(self, path: Path, port: int) -> int:
+        """Tokens counted as emitted toward (``path``, ``port``) that
+        have not arrived: in flight on the bus, bounced and awaiting a
+        retry, or waiting in a combining buffer."""
+        return self._owed.get((tuple(path), port), 0)
+
     def _retry(self, path: Path, port: int, token: Token) -> None:
         token.reroutes += 1
         if token.reroutes > MAX_REROUTES:
             self.stats.dropped_tokens += 1
             self.token_stats.record_dropped(token)
+            self._unowe(token)
             return
         self.sim.schedule(RETRY_DELAY, lambda: self.send_token(path, port, token))
 

@@ -1,4 +1,11 @@
-"""Tokens and token bookkeeping for the distributed runtime."""
+"""Tokens and token bookkeeping for the distributed runtime.
+
+:class:`Token` and :class:`TokenMsg` are the hottest records in the
+system — one of each per injection, and a ``TokenMsg`` per hop — so
+both are hand-rolled ``__slots__`` classes rather than dataclasses:
+no per-instance ``__dict__``, cheaper attribute access, and (for
+``Token``) cheaper mutation of the hop/reroute counters en route.
+"""
 
 from __future__ import annotations
 
@@ -6,18 +13,45 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 
-@dataclass
 class Token:
     """One client token traversing the adaptive counting network."""
 
-    token_id: int
-    entry_wire: int
-    issued_at: float
-    hops: int = 0
-    reroutes: int = 0
-    retired_at: Optional[float] = None
-    exit_wire: Optional[int] = None
-    value: Optional[int] = None
+    __slots__ = (
+        "token_id",
+        "entry_wire",
+        "issued_at",
+        "hops",
+        "reroutes",
+        "retired_at",
+        "exit_wire",
+        "value",
+        "owed",
+    )
+
+    def __init__(
+        self,
+        token_id: int,
+        entry_wire: int,
+        issued_at: float,
+        hops: int = 0,
+        reroutes: int = 0,
+        retired_at: Optional[float] = None,
+        exit_wire: Optional[int] = None,
+        value: Optional[int] = None,
+    ):
+        self.token_id = token_id
+        self.entry_wire = entry_wire
+        self.issued_at = issued_at
+        self.hops = hops
+        self.reroutes = reroutes
+        self.retired_at = retired_at
+        self.exit_wire = exit_wire
+        self.value = value
+        #: Runtime bookkeeping: the (path, port) this token is currently
+        #: owed to (emitted toward but not yet arrived at), or None.
+        #: Crash recovery subtracts owed tokens when reconstructing a
+        #: lost component's arrival counts.
+        self.owed = None
 
     @property
     def latency(self) -> Optional[float]:
@@ -25,14 +59,30 @@ class Token:
             return None
         return self.retired_at - self.issued_at
 
+    def __repr__(self):
+        return "Token(id=%d, wire=%d, value=%r)" % (
+            self.token_id,
+            self.entry_wire,
+            self.value,
+        )
 
-@dataclass(frozen=True)
+
 class TokenMsg:
     """A token addressed to input ``port`` of the component at ``path``."""
 
-    path: Tuple[int, ...]
-    port: int
-    token: Token
+    __slots__ = ("path", "port", "token")
+
+    def __init__(self, path: Tuple[int, ...], port: int, token: Token):
+        self.path = path
+        self.port = port
+        self.token = token
+
+    def __repr__(self):
+        return "TokenMsg(path=%r, port=%d, token=%r)" % (
+            self.path,
+            self.port,
+            self.token,
+        )
 
 
 @dataclass

@@ -1,12 +1,63 @@
-"""The discrete-event engine: a clock and an ordered event queue."""
+"""The discrete-event engine: a clock and an ordered event queue.
+
+Event lifecycle
+---------------
+``schedule``/``schedule_at`` wrap the callback in a slotted
+:class:`EventHandle` and push ``(time, sequence, handle)`` onto a binary
+heap — the tuple keeps heap comparisons in C (handles are never
+compared). The handle supports *lazy cancellation*: ``cancel`` marks it
+and drops the callback reference immediately (so captured state is
+freed at cancel time, not fire time), and the run loops pop-and-skip
+cancelled entries without counting them as executed events. This is how
+RPC timeout guards disappear on reply instead of surviving in the heap
+as dead no-op closures until their fire time.
+
+``pending`` counts *live* events only (a cancelled-events counter is
+maintained alongside the heap), so quiescence checks built on it do not
+see cancelled timers.
+
+The run loops (:meth:`Simulator.run_until_idle` / :meth:`run_until`)
+inline :meth:`step` with hoisted attribute lookups, and they keep the
+``max_events`` bound *exact* through a shared budget that the message
+bus's same-timestamp inline fast path also charges
+(:meth:`claim_inline_slot`): every executed event — popped or inline —
+consumes exactly one slot, and the bound raises before the event that
+would exceed it.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from math import isfinite
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+
+class EventHandle:
+    """One scheduled event: a callback plus a ``cancelled`` flag.
+
+    Returned by :meth:`Simulator.schedule` / :meth:`schedule_at`; pass
+    it to :meth:`Simulator.cancel` to deschedule the callback. The
+    record is deliberately tiny (two slots) — it is allocated on every
+    schedule, on the hot path of every message send.
+    """
+
+    __slots__ = ("callback", "cancelled")
+
+    def __init__(self, callback: Callable[[], None]):
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    @property
+    def live(self) -> bool:
+        """Still queued and due to run (not cancelled, not yet fired)."""
+        return self.callback is not None and not self.cancelled
+
+
+#: Internal alias: the heap entry shape.
+_Entry = Tuple[float, int, EventHandle]
 
 
 class Simulator:
@@ -18,39 +69,105 @@ class Simulator:
     """
 
     def __init__(self):
-        self._queue = []
+        self._queue: List[_Entry] = []
         self._sequence = itertools.count()
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._cancelled = 0
+        #: Remaining ``max_events`` slots of the innermost bounded run,
+        #: or None when unbounded; shared with the bus's inline path so
+        #: the bound stays exact (see :meth:`claim_inline_slot`).
+        self._budget: Optional[int] = None
         self.now = 0.0
         self.events_run = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` time units from now."""
-        if delay < 0:
-            raise SimulationError("cannot schedule into the past (delay=%r)" % delay)
-        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), callback))
+        if delay < 0 or not isfinite(delay):
+            raise SimulationError(
+                "cannot schedule a negative or non-finite delay (delay=%r)" % delay
+            )
+        handle = EventHandle(callback)
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), handle))
+        return handle
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at absolute simulated ``time``."""
+        if not isfinite(time):
+            raise SimulationError("cannot schedule at non-finite time %r" % time)
         if time < self.now:
             raise SimulationError(
                 "cannot schedule at %r, current time is %r" % (time, self.now)
             )
-        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+        handle = EventHandle(callback)
+        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Deschedule an event; returns whether it was still live.
+
+        Cancellation is lazy: the heap entry stays put and is skipped
+        (uncounted) when it surfaces. Cancelling an event that already
+        fired or was already cancelled is a no-op returning False, so
+        reply paths may cancel their timeout guard unconditionally.
+        """
+        if handle.cancelled or handle.callback is None:
+            return False
+        handle.cancelled = True
+        handle.callback = None  # free captured state now, not at fire time
+        self._cancelled += 1
+        return True
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of *live* events still queued (cancelled excluded)."""
+        return len(self._queue) - self._cancelled
+
+    def claim_inline_slot(self, time: float) -> bool:
+        """Whether an event at ``time`` may run inline, skipping the heap.
+
+        The message bus's same-timestamp delivery fast path asks this
+        before invoking a callback directly instead of round-tripping it
+        through a heap push/pop. Claiming succeeds only when running the
+        callback *now* is provably identical to scheduling it: ``time``
+        is the current instant and every queued live event is strictly
+        later (a freshly scheduled event would carry the largest
+        sequence number, so it would be popped next anyway). A granted
+        claim is charged like a popped event — ``events_run`` and the
+        active ``max_events`` budget — keeping accounting exact; when
+        the budget is exhausted the claim is refused and the caller must
+        schedule normally (the run loop then raises before executing).
+        """
+        if time != self.now:
+            return False
+        queue = self._queue
+        while queue and queue[0][2].cancelled:  # lazy-deletion housekeeping
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        if queue and queue[0][0] <= time:
+            return False
+        budget = self._budget
+        if budget is not None:
+            if budget <= 0:
+                return False
+            self._budget = budget - 1
+        self.events_run += 1
+        return True
 
     def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        time, _seq, callback = heapq.heappop(self._queue)
-        self.now = time
-        self.events_run += 1
-        callback()
-        return True
+        """Run the next live event; returns False when none remain."""
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            callback = handle.callback
+            handle.callback = None
+            self.now = time
+            self.events_run += 1
+            callback()  # type: ignore[misc]  # live entries hold a callback
+            return True
+        return False
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains; returns events executed.
@@ -58,31 +175,71 @@ class Simulator:
         ``max_events`` guards against protocol bugs that would otherwise
         spin forever: at most ``max_events`` events are executed, and
         needing more raises :class:`SimulationError`. The bound is
-        checked *before* each event so it is exact (a run that quiesces
-        in exactly ``max_events`` events succeeds; one that would need
-        ``max_events + 1`` never runs the extra event).
+        exact (a run that quiesces in exactly ``max_events`` events
+        succeeds; one that would need ``max_events + 1`` never runs the
+        extra event), and events the bus delivers inline count against
+        it like any other.
         """
-        executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    "simulation did not quiesce within %d events" % max_events
-                )
-            self.step()
-            executed += 1
-        return executed
+        queue = self._queue
+        pop = heapq.heappop
+        started = self.events_run
+        outer_budget = self._budget
+        self._budget = max_events
+        try:
+            while queue:
+                entry = queue[0]
+                handle = entry[2]
+                if handle.cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
+                    continue
+                budget = self._budget  # re-read: inline deliveries consume it
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationError(
+                            "simulation did not quiesce within %d events" % max_events
+                        )
+                    self._budget = budget - 1
+                pop(queue)
+                callback = handle.callback
+                handle.callback = None
+                self.now = entry[0]
+                self.events_run += 1
+                callback()  # type: ignore[misc]
+            return self.events_run - started
+        finally:
+            self._budget = outer_budget
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
         """Run all events scheduled strictly before ``time``; advances
         the clock to ``time``. ``max_events`` bounds execution exactly,
         as in :meth:`run_until_idle`."""
-        executed = 0
-        while self._queue and self._queue[0][0] < time:
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    "too many events before time %r" % time
-                )
-            self.step()
-            executed += 1
-        self.now = max(self.now, time)
-        return executed
+        queue = self._queue
+        pop = heapq.heappop
+        started = self.events_run
+        outer_budget = self._budget
+        self._budget = max_events
+        try:
+            while queue and queue[0][0] < time:
+                entry = queue[0]
+                handle = entry[2]
+                if handle.cancelled:
+                    pop(queue)
+                    self._cancelled -= 1
+                    continue
+                budget = self._budget
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationError("too many events before time %r" % time)
+                    self._budget = budget - 1
+                pop(queue)
+                callback = handle.callback
+                handle.callback = None
+                self.now = entry[0]
+                self.events_run += 1
+                callback()  # type: ignore[misc]
+        finally:
+            self._budget = outer_budget
+        if time > self.now:
+            self.now = time
+        return self.events_run - started

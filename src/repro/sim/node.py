@@ -8,6 +8,15 @@ processing queue per process: each message occupies its destination for
 token stream (e.g. the one hosting the root component, or a central
 counter) becomes a measurable throughput bottleneck — the effect
 Section 2's motivating example is about.
+
+Delivery is driven by one slotted :class:`Envelope` record per message
+(it replaced three nested per-message closures): the bus schedules the
+envelope's ``arrive`` trampoline after network transit, and ``arrive``
+either queues ``deliver`` behind the destination's service queue or —
+when the destination is idle, costs no service time, and the delivery
+would provably be the very next event anyway — runs it inline via
+:meth:`Simulator.claim_inline_slot`, skipping the heap push/pop
+round-trip without perturbing event order or accounting.
 """
 
 from __future__ import annotations
@@ -24,6 +33,79 @@ class SimulatedProcess:
 
     def handle_message(self, message) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+
+class Envelope:
+    """One in-flight message: destination, payload, and delivery state.
+
+    A single slotted record carries everything the two delivery stages
+    need; its bound methods ``arrive`` and ``deliver`` are the event
+    callbacks (the *delivery trampoline*), so sending a message costs
+    one envelope instead of three closures with captured cells.
+    """
+
+    __slots__ = ("bus", "to_address", "message", "kind", "on_undeliverable", "sent_epoch")
+
+    def __init__(
+        self,
+        bus: "MessageBus",
+        to_address: Hashable,
+        message,
+        kind: str,
+        on_undeliverable: Optional[Callable[[], None]],
+        sent_epoch: Optional[int],
+    ):
+        self.bus = bus
+        self.to_address = to_address
+        self.message = message
+        self.kind = kind
+        self.on_undeliverable = on_undeliverable
+        self.sent_epoch = sent_epoch
+
+    def addressee(self) -> Optional[SimulatedProcess]:
+        """The live destination process, or None (gone or re-registered)."""
+        bus = self.bus
+        process = bus._processes.get(self.to_address)
+        if process is None:
+            return None
+        if self.sent_epoch is not None and bus._epochs.get(self.to_address) != self.sent_epoch:
+            return None  # same address, different incarnation
+        return process
+
+    def arrive(self) -> None:
+        """Network transit ended: enter the destination's service queue."""
+        bus = self.bus
+        if self.addressee() is None:
+            bus._finish(self.kind)
+            bus.messages_dropped += 1
+            if self.on_undeliverable is not None:
+                self.on_undeliverable()
+            return
+        simulator = bus.simulator
+        now = simulator.now
+        busy = bus._busy_until.get(self.to_address, 0.0)
+        finish = (busy if busy > now else now) + bus.service_time
+        bus._busy_until[self.to_address] = finish
+        # Same-timestamp fast path: an idle destination with zero
+        # service cost processes the message in this very event when the
+        # simulator certifies that is order- and accounting-identical.
+        if finish == now and simulator.claim_inline_slot(finish):
+            self.deliver()
+            return
+        simulator.schedule_at(finish, self.deliver)
+
+    def deliver(self) -> None:
+        """Service slot reached: hand the payload to the process."""
+        bus = self.bus
+        current = self.addressee()
+        bus._finish(self.kind)
+        if current is None:
+            bus.messages_dropped += 1
+            if self.on_undeliverable is not None:
+                self.on_undeliverable()
+            return
+        bus.messages_delivered += 1
+        current.handle_message(self.message)
 
 
 class MessageBus:
@@ -98,45 +180,13 @@ class MessageBus:
         this is how neighbours notice lost components.
         """
         self.messages_sent += 1
-        self._in_flight_by_kind[kind] = self._in_flight_by_kind.get(kind, 0) + 1
-        transit = self.latency.sample()
+        counts = self._in_flight_by_kind
+        counts[kind] = counts.get(kind, 0) + 1
         # None when the destination is not registered yet: such mail may
         # be picked up by whoever registers first (existing semantics).
-        sent_epoch = self._epochs.get(to_address) if self.is_registered(to_address) else None
-
-        def addressee() -> Optional[SimulatedProcess]:
-            process = self._processes.get(to_address)
-            if process is None:
-                return None
-            if sent_epoch is not None and self._epochs.get(to_address) != sent_epoch:
-                return None  # same address, different incarnation
-            return process
-
-        def arrive() -> None:
-            if addressee() is None:
-                self._finish(kind)
-                self.messages_dropped += 1
-                if on_undeliverable is not None:
-                    on_undeliverable()
-                return
-            start = max(self.simulator.now, self._busy_until.get(to_address, 0.0))
-            finish = start + self.service_time
-            self._busy_until[to_address] = finish
-
-            def process_it() -> None:
-                current = addressee()
-                self._finish(kind)
-                if current is None:
-                    self.messages_dropped += 1
-                    if on_undeliverable is not None:
-                        on_undeliverable()
-                    return
-                self.messages_delivered += 1
-                current.handle_message(message)
-
-            self.simulator.schedule_at(finish, process_it)
-
-        self.simulator.schedule(transit, arrive)
+        sent_epoch = self._epochs.get(to_address) if to_address in self._processes else None
+        envelope = Envelope(self, to_address, message, kind, on_undeliverable, sent_epoch)
+        self.simulator.schedule(self.latency.sample(), envelope.arrive)
 
     def _finish(self, kind: str) -> None:
         self._in_flight_by_kind[kind] -= 1

@@ -6,7 +6,7 @@ import random
 import pytest
 
 from repro.chord.identifiers import IdentifierSpace
-from repro.chord.protocol import ChordProtocolNetwork
+from repro.chord.protocol import RPC_TIMEOUT, ChordProtocolNetwork
 from repro.errors import RingError
 
 
@@ -233,6 +233,45 @@ class TestFailures:
         network.run_rounds(6)
         after = (list(victim.successors), victim.predecessor, list(victim.fingers))
         assert before == after
+
+    def test_reply_cancels_timeout_timer(self):
+        """A reply must cancel the RPC's timeout guard: the round trip
+        quiesces before the guard's fire time ever arrives, instead of
+        leaving a dead timer to pop later."""
+        network = build_converged(6, seed=31)
+        node = network.nodes[network.true_ring()[0]]
+        armed_at = network.sim.now
+        node.stabilize()
+        timers = [timer for _reply, timer in node._pending.values()]
+        assert timers and all(timer.live for timer in timers)
+        network.sim.run_until_idle()
+        assert node._pending == {}
+        assert not any(timer.live for timer in timers)
+        assert network.sim.now < armed_at + RPC_TIMEOUT
+
+    def test_crash_cancels_victims_timers(self):
+        """crash() disarms every timeout the victim had in flight so the
+        queue holds no events on behalf of a dead node."""
+        network = build_converged(6, seed=32)
+        victim_id = network.true_ring()[0]
+        victim = network.nodes[victim_id]
+        victim.stabilize()
+        timers = [timer for _reply, timer in victim._pending.values()]
+        assert timers
+        network.crash(victim_id)
+        assert victim._pending == {}
+        assert not any(timer.live for timer in timers)
+
+    def test_timeout_to_crashed_peer_cleans_pending(self):
+        """The timeout path itself must also clear the pending table and
+        its (already-fired or undeliverable-cancelled) timer."""
+        network = build_small_ring([1, 65], seed=33)
+        network.crash(65)
+        caller = network.nodes[1]
+        caller.stabilize()
+        network.sim.run_until_idle()
+        assert caller._pending == {}
+        assert network.sim.pending == 0
 
     def test_churn_then_convergence(self):
         network = build_converged(10, seed=14)

@@ -1,6 +1,10 @@
 """Tests for the message bus and per-node service queues."""
 
+import random
+
 import pytest
+
+import repro.runtime.system as counting_system
 
 from repro.errors import SimulationError
 from repro.sim.events import Simulator
@@ -131,3 +135,186 @@ class TestInFlightAccounting:
         sim.run_until_idle()
         assert bus.in_flight("token") == 0
         assert bus.in_flight("control") == 0
+
+
+# ----------------------------------------------------------------------
+# Schedule equivalence: envelope pipeline vs the old closure pipeline
+# ----------------------------------------------------------------------
+
+
+class ClosureMessageBus(MessageBus):
+    """The pre-refactor closure-based ``send``, kept as a reference model.
+
+    This reproduces the original delivery pipeline exactly: three nested
+    per-message closures (``addressee`` / ``arrive`` / ``process_it``),
+    no :class:`Envelope`, and no same-timestamp inline fast path —
+    delivery is always a separately scheduled event. The equivalence
+    tests below drive identical seeded workloads through this bus and
+    the envelope bus and require bit-identical schedules.
+    """
+
+    def send(self, to_address, message, kind="message", on_undeliverable=None):
+        self.messages_sent += 1
+        self._in_flight_by_kind[kind] = self._in_flight_by_kind.get(kind, 0) + 1
+        transit = self.latency.sample()
+        sent_epoch = self._epochs.get(to_address) if self.is_registered(to_address) else None
+
+        def addressee():
+            process = self._processes.get(to_address)
+            if process is None:
+                return None
+            if sent_epoch is not None and self._epochs.get(to_address) != sent_epoch:
+                return None  # same address, different incarnation
+            return process
+
+        def arrive():
+            if addressee() is None:
+                self._finish(kind)
+                self.messages_dropped += 1
+                if on_undeliverable is not None:
+                    on_undeliverable()
+                return
+            start = max(self.simulator.now, self._busy_until.get(to_address, 0.0))
+            finish = start + self.service_time
+            self._busy_until[to_address] = finish
+
+            def process_it():
+                current = addressee()
+                self._finish(kind)
+                if current is None:
+                    self.messages_dropped += 1
+                    if on_undeliverable is not None:
+                        on_undeliverable()
+                    return
+                self.messages_delivered += 1
+                current.handle_message(message)
+
+            self.simulator.schedule_at(finish, process_it)
+
+        self.simulator.schedule(transit, arrive)
+
+
+class _SeededLatency:
+    """Deterministic latency with integer ties and zero-transit sends,
+    chosen to stress the same-timestamp inline fast path."""
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def sample(self):
+        return self._rng.choice((0.0, 1.0, 1.0, 2.0, 3.0))
+
+
+class _Forwarder(SimulatedProcess):
+    """Logs every delivery and sometimes re-sends from handler context."""
+
+    def __init__(self, name, sim, bus, rng, names, log):
+        self.name = name
+        self.sim = sim
+        self.bus = bus
+        self.rng = rng
+        self.names = names
+        self.log = log
+
+    def handle_message(self, message):
+        payload, ttl = message
+        self.log.append((self.name, payload, self.sim.now))
+        if ttl > 0:
+            self.bus.send(self.rng.choice(self.names), (payload, ttl - 1), kind="token")
+
+
+def _run_bus_trace(bus_cls, seed):
+    """One seeded churn-and-forward workload; returns everything
+    observable about its schedule."""
+    sim = Simulator()
+    bus = bus_cls(sim, _SeededLatency(seed))
+    rng = random.Random(seed + 1)
+    names = ["n%d" % i for i in range(6)]
+    log = []
+    drops = []
+
+    def spawn(name):
+        bus.register(name, _Forwarder(name, sim, bus, rng, names, log))
+
+    for name in names[:4]:
+        spawn(name)
+    for step in range(150):
+        roll = rng.random()
+        target = rng.choice(names)
+        if roll < 0.08:
+            bus.unregister(target)
+        elif roll < 0.16:
+            if not bus.is_registered(target):
+                spawn(target)
+        else:
+            bus.send(
+                target,
+                (step, rng.randrange(3)),
+                kind="token",
+                on_undeliverable=lambda s=step: drops.append((s, sim.now)),
+            )
+        if roll > 0.6:
+            sim.run_until(sim.now + rng.choice((0.0, 1.0, 2.0)))
+    sim.run_until_idle()
+    return (
+        log,
+        drops,
+        sim.events_run,
+        sim.now,
+        bus.messages_sent,
+        bus.messages_delivered,
+        bus.messages_dropped,
+    )
+
+
+def _run_counting_workload(seed, bus_cls):
+    """A seeded end-to-end counting run (inject + churn) on ``bus_cls``,
+    installed via the module attribute the system constructs from."""
+    original = counting_system.MessageBus
+    counting_system.MessageBus = bus_cls
+    try:
+        system = counting_system.AdaptiveCountingSystem(width=8, seed=seed, initial_nodes=8)
+        system.converge()
+        retired = []
+        system.on_retire(
+            lambda t: retired.append((t.token_id, t.value, t.exit_wire, t.retired_at))
+        )
+        rng = random.Random(seed + 99)
+        for _step in range(80):
+            roll = rng.random()
+            if roll < 0.06:
+                system.add_node()
+            elif roll < 0.12 and system.num_nodes > 4:
+                system.crash_node()
+            system.inject_token()
+            if roll > 0.5:
+                system.advance(rng.choice((0.5, 1.0, 2.0)))
+        system.run_until_quiescent()
+        system.verify()
+        return (
+            system.sim.events_run,
+            system.sim.now,
+            retired,
+            system.bus.messages_sent,
+            system.bus.messages_delivered,
+            system.bus.messages_dropped,
+        )
+    finally:
+        counting_system.MessageBus = original
+
+
+class TestScheduleEquivalence:
+    """The envelope/inline refactor must be *schedule-equivalent* to the
+    closure pipeline: identical event counts, delivery order and times,
+    drops, and accounting on any seeded workload."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_bus_traces_identical(self, seed):
+        assert _run_bus_trace(MessageBus, seed) == _run_bus_trace(ClosureMessageBus, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counting_system_runs_identical(self, seed):
+        envelope = _run_counting_workload(seed, MessageBus)
+        closure = _run_counting_workload(seed, ClosureMessageBus)
+        assert envelope == closure
+        assert envelope[2], "workload retired no tokens — not a meaningful check"

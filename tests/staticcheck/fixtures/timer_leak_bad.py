@@ -1,0 +1,38 @@
+"""Deliberate RSC305 violations: timeout timers with discarded handles."""
+
+RPC_TIMEOUT = 5.0
+
+
+class Caller:
+    def __init__(self, sim):
+        self.sim = sim
+        self._pending = {}
+
+    def call_with_named_callback(self, call_id):
+        def expire():
+            self._pending.pop(call_id, None)
+
+        self.sim.schedule(RPC_TIMEOUT, expire)  # RSC305: handle discarded
+
+    def call_with_named_delay(self, callback):
+        self.sim.schedule(RPC_TIMEOUT, callback)  # RSC305: timeout delay
+
+    def call_with_lambda(self, call_id):
+        # RSC305: lambda body names a timeout helper
+        self.sim.schedule_at(9.0, lambda: self.on_timeout(call_id))
+
+    def on_timeout(self, call_id):
+        self._pending.pop(call_id, None)
+
+    def fine_kept_handle(self, call_id):
+        def expire():
+            self._pending.pop(call_id, None)
+
+        timer = self.sim.schedule(RPC_TIMEOUT, expire)  # ok: handle kept
+        self._pending[call_id] = timer
+
+    def fine_not_a_timeout(self):
+        self.sim.schedule(1.0, self.flush)  # ok: not timeout-flavoured
+
+    def flush(self):
+        pass

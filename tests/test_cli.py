@@ -39,7 +39,7 @@ class TestBenchCli:
     def test_bench_smoke_json(self, capsys, tmp_path):
         """`repro bench` runs a full profile, prints the JSON document,
         and writes it to --output."""
-        output = tmp_path / "BENCH_3.json"
+        output = tmp_path / "BENCH_4.json"
         code = main(
             ["bench", "--profile", "smoke", "--json", "--output", str(output)]
         )
@@ -47,7 +47,7 @@ class TestBenchCli:
         import json
 
         payload = json.loads(capsys.readouterr().out)
-        assert payload["bench_id"] == "BENCH_3"
+        assert payload["bench_id"] == "BENCH_4"
         assert len(payload["scenarios"]) >= 3
         routing = payload["scenarios"]["token_routing"]
         assert routing["metrics"]["speedup_vs_scan"] >= 5.0
@@ -68,7 +68,7 @@ class TestBenchCli:
             json.dumps(
                 {
                     "schema": 1,
-                    "bench_id": "BENCH_3",
+                    "bench_id": "BENCH_4",
                     "profile": "smoke",
                     "seed": 0,
                     "scenarios": {
