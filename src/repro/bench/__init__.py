@@ -11,6 +11,7 @@ from repro.bench.harness import (
     BENCH_ID,
     PROFILES,
     SCHEMA_VERSION,
+    SUPPORTED_BASELINE_SCHEMAS,
     ScenarioResult,
     compare_to_baseline,
     format_results,
@@ -22,6 +23,7 @@ __all__ = [
     "BENCH_ID",
     "PROFILES",
     "SCHEMA_VERSION",
+    "SUPPORTED_BASELINE_SCHEMAS",
     "ScenarioResult",
     "compare_to_baseline",
     "format_results",

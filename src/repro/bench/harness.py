@@ -3,8 +3,8 @@
 The JSON document (``BENCH_*.json``) has a stable shape::
 
     {
-      "schema": 1,
-      "bench_id": "BENCH_4",
+      "schema": 2,
+      "bench_id": "BENCH_5",
       "profile": "small",
       "seed": 0,
       "scenarios": {
@@ -16,11 +16,18 @@ The JSON document (``BENCH_*.json``) has a stable shape::
       }
     }
 
+Schema 2 (ISSUE 5) adds ``latency_p50``/``latency_p99`` — simulated
+inject-to-retire latency percentiles from the ``repro.obs`` histogram —
+to the ``metrics`` of the end-to-end scenarios (``inject_to_retire``,
+``large_churn``).
+
 ``compare_to_baseline`` gates each scenario's ``ops_per_sec`` against a
 committed baseline document: a scenario regressing by more than the
-threshold fails the comparison (new scenarios and baseline-only
-scenarios are reported but never fail — baselines are updated by
-re-running the bench and committing the fresh document).
+threshold fails the comparison. New scenarios are reported but never
+fail; scenarios present in the baseline but missing from the run are
+returned separately so the CLI can fail loudly on an accidentally
+shrunken run (baselines are updated by re-running the bench and
+committing the fresh document).
 """
 
 from __future__ import annotations
@@ -30,11 +37,19 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.bench.result import ScenarioResult
 from repro.bench.scenarios import SCENARIOS
 from repro.errors import BenchmarkError
+from repro.obs import recorder as _obs
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: This PR series' benchmark trajectory file (ISSUE 4).
-BENCH_ID = "BENCH_4"
+#: Baseline schemas the regression gate still understands. Schema 1
+#: (``BENCH_4``) differs from 2 only by the added latency-percentile
+#: metrics, which the gate does not read, so older baselines remain
+#: comparable — CI uses ``BENCH_4.json`` for the instrumentation-off
+#: overhead gate.
+SUPPORTED_BASELINE_SCHEMAS = (1, 2)
+
+#: This PR series' benchmark trajectory file (ISSUE 5).
+BENCH_ID = "BENCH_5"
 
 #: Per-profile scenario parameters. ``token_routing`` keeps width 64 in
 #: every profile so the table-vs-scan speedup is always measured at the
@@ -109,9 +124,15 @@ def run_bench(
             raise BenchmarkError(
                 "scenario %r has no parameters in profile %r" % (name, profile)
             )
-    return [
-        SCENARIOS[name](profile_params[name], seed) for name in selected
-    ]
+    results = []
+    for name in selected:
+        # One Chrome-trace "process" (and metadata record) per scenario
+        # when a recorder is installed; free otherwise.
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.begin_section(name)
+        results.append(SCENARIOS[name](profile_params[name], seed))
+    return results
 
 
 def to_json_payload(
@@ -130,19 +151,25 @@ def compare_to_baseline(
     results: List[ScenarioResult],
     baseline: Dict,
     max_regression: float = 0.30,
-) -> Tuple[bool, List[str]]:
+) -> Tuple[bool, List[str], List[str]]:
     """Gate ``results`` against a baseline JSON document.
 
-    Returns ``(ok, lines)``: one human-readable line per scenario, and
-    ``ok`` is False iff any scenario regressed beyond ``max_regression``
-    (fractional, e.g. 0.30 = 30%).
+    Returns ``(ok, lines, missing)``: one human-readable line per
+    scenario; ``ok`` is False iff any scenario regressed beyond
+    ``max_regression`` (fractional, e.g. 0.30 = 30%); ``missing`` lists
+    baseline scenarios absent from this run, sorted — the caller decides
+    whether that is fatal (the CLI fails loudly unless the run was
+    explicitly scenario-filtered).
     """
     if not isinstance(baseline, dict) or "scenarios" not in baseline:
         raise BenchmarkError("baseline document has no 'scenarios' section")
-    if baseline.get("schema") != SCHEMA_VERSION:
+    if baseline.get("schema") not in SUPPORTED_BASELINE_SCHEMAS:
         raise BenchmarkError(
-            "baseline schema %r does not match current schema %r"
-            % (baseline.get("schema"), SCHEMA_VERSION)
+            "baseline schema %r is not supported (supported: %s)"
+            % (
+                baseline.get("schema"),
+                ", ".join(str(s) for s in SUPPORTED_BASELINE_SCHEMAS),
+            )
         )
     base_scenarios = baseline["scenarios"]
     ok = True
@@ -172,9 +199,10 @@ def compare_to_baseline(
                 100.0 * max_regression,
             )
         )
-    for name in sorted(set(base_scenarios) - seen):
+    missing = sorted(set(base_scenarios) - seen)
+    for name in missing:
         lines.append("%-18s MISSING from this run (baseline-only)" % name)
-    return ok, lines
+    return ok, lines, missing
 
 
 def format_results(results: List[ScenarioResult]) -> str:

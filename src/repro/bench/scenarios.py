@@ -17,8 +17,24 @@ from typing import Callable, Dict, List
 from repro.bench.result import ScenarioResult
 from repro.core.bitonic import bitonic_network
 from repro.errors import BenchmarkError
+from repro.obs.metrics import Histogram
 from repro.runtime.system import AdaptiveCountingSystem
 from repro.sim.failures import churn_trace
+
+
+def _latency_percentiles(latencies: List) -> Dict[str, float]:
+    """``latency_p50``/``latency_p99`` of retired-token sim latencies.
+
+    Computed *after* the timed loop through the ``repro.obs`` log-scale
+    histogram, so the percentile metrics cost nothing inside the
+    measured region and are a pure function of the seed (simulated
+    time only — the determinism tests include them).
+    """
+    histogram = Histogram()
+    for value in latencies:
+        if value is not None:
+            histogram.record(value)
+    return {"latency_p50": histogram.p50, "latency_p99": histogram.p99}
 
 
 def _best_elapsed(run: Callable[[], None], repeats: int) -> float:
@@ -156,20 +172,22 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
     system.verify()
 
     stats = system.token_stats
+    metrics = {
+        "width": width,
+        "nodes": system.num_nodes,
+        "retired": stats.retired,
+        "dropped": stats.dropped,
+        "mean_hops": stats.mean_hops,
+        "mean_sim_latency": stats.mean_latency,
+        "crashes": system.stats.crashes,
+        "messages_sent": system.bus.messages_sent,
+    }
+    metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="inject_to_retire",
         ops_per_sec=stats.retired / elapsed,
         events=system.sim.events_run - events_before,
-        metrics={
-            "width": width,
-            "nodes": system.num_nodes,
-            "retired": stats.retired,
-            "dropped": stats.dropped,
-            "mean_hops": stats.mean_hops,
-            "mean_sim_latency": stats.mean_latency,
-            "crashes": system.stats.crashes,
-            "messages_sent": system.bus.messages_sent,
-        },
+        metrics=metrics,
     )
 
 
@@ -235,22 +253,24 @@ def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
     system.verify()
 
     stats = system.token_stats
+    metrics = {
+        "width": width,
+        "nodes": system.num_nodes,
+        "joins": joins,
+        "crashes": crashes,
+        "retired": stats.retired,
+        "dropped": stats.dropped,
+        "mean_hops": stats.mean_hops,
+        "mean_sim_latency": stats.mean_latency,
+        "messages_sent": system.bus.messages_sent,
+        "sim_time": system.sim.now,
+    }
+    metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="large_churn",
         ops_per_sec=stats.retired / elapsed,
         events=system.sim.events_run - events_before,
-        metrics={
-            "width": width,
-            "nodes": system.num_nodes,
-            "joins": joins,
-            "crashes": crashes,
-            "retired": stats.retired,
-            "dropped": stats.dropped,
-            "mean_hops": stats.mean_hops,
-            "mean_sim_latency": stats.mean_latency,
-            "messages_sent": system.bus.messages_sent,
-            "sim_time": system.sim.now,
-        },
+        metrics=metrics,
     )
 
 

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.chord.identifiers import IdentifierSpace
 from repro.errors import RingError
+from repro.obs import recorder as _obs
 from repro.sim.events import EventHandle, Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.node import MessageBus, SimulatedProcess
@@ -115,6 +116,18 @@ class ProtocolNode(SimulatedProcess):
     ) -> None:
         call_id = next(self._call_ids)
         rpc = _Rpc(method, args, self.node_id, call_id)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            issued_at = self.network.sim.now
+            obs.rpc_issued(issued_at, method)
+            inner_reply = on_reply
+
+            def on_reply(value, _inner=inner_reply, _issued=issued_at):
+                now = self.network.sim.now
+                recorder = _obs.ACTIVE
+                if recorder.enabled:
+                    recorder.rpc_replied(now, method, now - _issued)
+                _inner(value)
 
         def expire() -> None:
             if not self.alive:
@@ -125,6 +138,9 @@ class ProtocolNode(SimulatedProcess):
                 # it so it never fires as a dead event (a no-op when we
                 # *are* the timer firing).
                 self.network.sim.cancel(entry[1])
+                recorder = _obs.ACTIVE
+                if recorder.enabled:
+                    recorder.rpc_timeout(self.network.sim.now, method)
                 if on_timeout is not None:
                     on_timeout()
 

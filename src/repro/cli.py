@@ -21,7 +21,13 @@ Commands
     Seeded performance scenarios (``repro.bench``): token routing
     (table fast path vs linear scan), batch counts, inject-to-retire
     under churn, and convergence; emits ``BENCH_*.json`` and gates
-    against a committed baseline (``--baseline``).
+    against a committed baseline (``--baseline``). ``--trace`` /
+    ``--metrics-out`` install a ``repro.obs`` recorder for the run and
+    export a Chrome trace / metrics JSONL.
+``trace``
+    Record one fully traced inject-under-churn run (``repro.obs``) and
+    export it as Chrome ``trace_event`` JSON (Perfetto-loadable) plus
+    optional metrics JSONL.
 """
 
 from __future__ import annotations
@@ -210,6 +216,7 @@ def cmd_check(args) -> int:
 
 def cmd_bench(args) -> int:
     import json
+    from contextlib import nullcontext
 
     from repro.bench import (
         compare_to_baseline,
@@ -219,13 +226,36 @@ def cmd_bench(args) -> int:
     )
     from repro.errors import BenchmarkError
 
+    recorder = None
+    if args.trace or args.metrics_out:
+        from repro.obs import Recorder
+        from repro.obs.recorder import recording
+
+        try:
+            recorder = Recorder(
+                trace=bool(args.trace), sample_every=args.trace_sample
+            )
+        except ValueError as exc:
+            print("repro bench: error: %s" % exc, file=sys.stderr)
+            return 2
+    scope = recording(recorder) if recorder is not None else nullcontext()
     try:
-        results = run_bench(
-            profile=args.profile, seed=args.seed, only=args.scenario
-        )
+        with scope:
+            results = run_bench(
+                profile=args.profile, seed=args.seed, only=args.scenario
+            )
     except BenchmarkError as exc:
         print("repro bench: error: %s" % exc, file=sys.stderr)
         return 2
+    if recorder is not None:
+        from repro.obs import write_chrome_trace, write_metrics_jsonl
+
+        if args.trace:
+            write_chrome_trace(recorder.trace, args.trace, metrics=recorder.metrics)
+            print("trace written to %s" % args.trace, file=sys.stderr)
+        if args.metrics_out:
+            write_metrics_jsonl(recorder.metrics, args.metrics_out)
+            print("metrics written to %s" % args.metrics_out, file=sys.stderr)
     payload = to_json_payload(results, args.profile, args.seed)
     if args.output:
         with open(args.output, "w") as handle:
@@ -240,7 +270,7 @@ def cmd_bench(args) -> int:
         try:
             with open(args.baseline) as handle:
                 baseline = json.load(handle)
-            ok, lines = compare_to_baseline(
+            ok, lines, missing = compare_to_baseline(
                 results, baseline, max_regression=args.max_regression
             )
         except (OSError, ValueError, BenchmarkError) as exc:
@@ -250,9 +280,69 @@ def cmd_bench(args) -> int:
         # With --json, stdout stays machine-readable; the comparison
         # report goes to stderr instead.
         print(report, file=sys.stderr if args.json else sys.stdout)
+        # A full (unfiltered) run must cover every baseline scenario: a
+        # scenario silently vanishing from the run would otherwise slip
+        # past the regression gate unmeasured. Explicit --scenario
+        # selection is exempt — the caller asked for a subset.
+        if missing and not args.scenario:
+            print(
+                "repro bench: error: baseline scenario(s) missing from "
+                "this run: %s" % ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 2
         if not ok:
             exit_code = 1
     return exit_code
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Recorder, write_chrome_trace, write_metrics_jsonl
+    from repro.obs.recorder import recording
+
+    try:
+        recorder = Recorder(trace=True, sample_every=args.sample_every)
+    except ValueError as exc:
+        print("repro trace: error: %s" % exc, file=sys.stderr)
+        return 2
+    with recording(recorder):
+        recorder.begin_section("trace")
+        system = AdaptiveCountingSystem(
+            width=args.width, seed=args.seed, initial_nodes=args.nodes
+        )
+        system.converge()
+        churn_flip = True
+        for index in range(args.tokens):
+            system.inject_token()
+            if args.churn_every and index and index % args.churn_every == 0:
+                if churn_flip:
+                    system.add_node()
+                else:
+                    system.crash_node()
+                churn_flip = not churn_flip
+        system.run_until_quiescent()
+        system.verify()
+    write_chrome_trace(recorder.trace, args.out, metrics=recorder.metrics)
+    latency = recorder.latency_histogram()
+    buffer = recorder.trace
+    assert buffer is not None
+    print(
+        "trace: %d events recorded (%d dropped by the ring) -> %s"
+        % (buffer.recorded_events, buffer.dropped_events, args.out)
+    )
+    print(
+        "tokens: retired=%d latency p50=%.3f p99=%.3f max=%.3f (sim units)"
+        % (
+            latency.count,
+            latency.p50,
+            latency.p99,
+            latency.max if latency.max is not None else 0.0,
+        )
+    )
+    if args.metrics_out:
+        write_metrics_jsonl(recorder.metrics, args.metrics_out)
+        print("metrics: %d instruments -> %s" % (len(recorder.metrics), args.metrics_out))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,7 +473,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional ops/sec regression tolerated per scenario (default 0.30)",
     )
     bench.add_argument("--json", action="store_true", help="print the JSON document")
+    bench.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a token trace during the run and export Chrome "
+        "trace_event JSON (Perfetto-loadable) to PATH",
+    )
+    bench.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="record metrics during the run and write them as JSONL to PATH",
+    )
+    bench.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every N-th token by id (default 1 = all; metrics "
+        "always cover every token)",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="record a traced run (repro.obs) and export it"
+    )
+    _add_common(trace)
+    trace.add_argument("--nodes", type=int, default=16, help="initial node count")
+    trace.add_argument("--tokens", type=int, default=300, help="tokens to inject")
+    trace.add_argument(
+        "--churn-every",
+        type=int,
+        default=60,
+        help="join/crash a node every N tokens (0 disables churn)",
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace every N-th token by id (metrics always cover every token)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="PATH",
+        default="trace.json",
+        help="Chrome trace_event output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also write the metrics registry as JSONL to PATH",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -1,0 +1,169 @@
+"""Exporters: metrics JSONL and Chrome ``trace_event`` JSON.
+
+Both exporters are *byte-deterministic*: given the same recorder state
+they produce the same bytes (sorted keys, fixed separators, no clocks,
+no environment reads), which is what lets CI diff two same-seed runs'
+exports and fail on any nondeterminism.
+
+Metrics JSONL
+-------------
+One JSON object per line, one line per metric, sorted by name:
+
+    {"kind": "histogram", "labels": [], "name": "tokens.latency",
+     "count": 600, "mean": 3.1, "p50": 3.0, "p90": 4.0, "p99": 8.0, ...}
+
+Chrome trace
+------------
+The JSON Object Format of the trace_event spec: a top-level object with
+a ``traceEvents`` array (loadable in Perfetto and ``chrome://tracing``),
+plus ``displayTimeUnit`` and a small ``otherData`` block recording the
+ring-buffer accounting so a wrapped trace is visibly marked as such.
+
+:func:`validate_chrome_trace` structurally checks a payload against the
+spec's requirements for the phases this repo emits — the test suite and
+the CLI run it on every export, so a malformed trace fails loudly
+rather than silently failing to load in a viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBuffer
+
+__all__ = [
+    "metrics_jsonl",
+    "write_metrics_jsonl",
+    "chrome_trace_payload",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Phases the validator accepts (the subset of the spec this repo and
+#: its tools care about; a payload using others is still reported).
+_KNOWN_PHASES = {"B", "E", "X", "I", "i", "C", "b", "n", "e", "s", "t", "f", "M"}
+
+#: Metadata record names the spec defines for the ``M`` phase.
+_METADATA_NAMES = {
+    "process_name",
+    "process_labels",
+    "process_sort_index",
+    "thread_name",
+    "thread_sort_index",
+}
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def metrics_jsonl(registry: MetricsRegistry) -> str:
+    """The registry as JSONL text (one sorted-key object per line)."""
+    lines = [
+        json.dumps(row, sort_keys=True, separators=(",", ":"))
+        for row in registry.rows()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_jsonl(registry))
+
+
+# ----------------------------------------------------------------------
+# chrome trace
+# ----------------------------------------------------------------------
+def chrome_trace_payload(
+    buffer: TraceBuffer, metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, object]:
+    """The trace buffer as a Chrome trace_event JSON object."""
+    other: Dict[str, object] = {
+        "recorded_events": buffer.recorded_events,
+        "dropped_events": buffer.dropped_events,
+        "ring_capacity": buffer.capacity,
+    }
+    if metrics is not None:
+        other["metrics"] = len(metrics)
+    return {
+        "traceEvents": [event.to_json() for event in buffer],
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    buffer: TraceBuffer,
+    path: str,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Write the trace to ``path``; returns the payload written.
+
+    The payload is validated first — exporting a structurally invalid
+    trace raises instead of producing a file no viewer will open.
+    """
+    payload = chrome_trace_payload(buffer, metrics)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid Chrome trace: %s" % "; ".join(problems[:5])
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Structural problems of a trace payload (empty list = valid).
+
+    Checks the JSON Object Format rules the viewers actually enforce:
+    a ``traceEvents`` array of objects, each with a known phase, a
+    numeric ``ts``, numeric ``pid``/``tid``; ``X`` events carry a
+    numeric ``dur``; async events (``b``/``n``/``e``) carry an ``id``
+    and a ``cat``; metadata events use the spec's metadata names.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append("%s has unknown phase %r" % (where, phase))
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append("%s lacks a string name" % where)
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append("%s lacks a numeric ts" % where)
+        for track_key in ("pid", "tid"):
+            if not isinstance(event.get(track_key), int):
+                problems.append("%s lacks an integer %s" % (where, track_key))
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append("%s is a complete event without dur" % where)
+        if phase in ("b", "n", "e"):
+            if "id" not in event:
+                problems.append("%s is an async event without id" % where)
+            if not isinstance(event.get("cat"), str) or not event.get("cat"):
+                problems.append("%s is an async event without cat" % where)
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(value, (int, float)) for value in args.values()
+            ):
+                problems.append("%s is a counter event without numeric args" % where)
+        if phase == "M":
+            if event.get("name") not in _METADATA_NAMES:
+                problems.append(
+                    "%s is metadata with unknown name %r" % (where, event.get("name"))
+                )
+            if not isinstance(event.get("args"), dict):
+                problems.append("%s is metadata without args" % where)
+    return problems

@@ -1,0 +1,243 @@
+"""Metric primitives and the registry (`repro.obs`).
+
+Three instrument kinds, all deliberately minimal and allocation-light:
+
+:class:`Counter`
+    A monotonically increasing count (tokens retired, messages sent).
+:class:`Gauge`
+    A value that goes up and down (tokens currently owed/in flight).
+:class:`Histogram`
+    A fixed-bucket *log-scale* histogram for latency-shaped values:
+    bucket upper bounds form a geometric ladder, so one configuration
+    covers microsecond-to-kilosecond ranges with bounded relative
+    error, and p50/p90/p99 queries are a single cumulative walk. The
+    exact ``min``/``max`` are tracked alongside the buckets so tail
+    percentiles never report a bound beyond an observed value.
+
+Metrics are keyed by ``(name, labels)`` where ``labels`` is a plain
+tuple of hashable values (``("token",)``, ``(kind, wire)``). The hot
+path therefore builds at most one small tuple per record call — never
+a formatted string; the RSC306 lint enforces that at hook sites.
+
+Everything here is deterministic: no clocks, no randomness. Timestamps
+are the caller's problem (they pass simulated time in), which is what
+keeps exported snapshots byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_bounds",
+]
+
+LabelTuple = Tuple[object, ...]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; supports absolute set and deltas."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+def default_bounds(
+    start: float = 1e-3, factor: float = 2.0, count: int = 40
+) -> Tuple[float, ...]:
+    """The default geometric bucket ladder: ``start * factor**i``.
+
+    With the defaults the ladder spans 1e-3 .. ~5.5e8 in 40 buckets —
+    wide enough for any simulated-time latency this repo produces, at
+    a worst-case relative error of ``factor - 1`` per bucket.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    bound = start
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+class Histogram:
+    """Fixed-bucket log-scale histogram with percentile queries.
+
+    ``bounds`` are the bucket *upper* bounds (inclusive), ascending;
+    two implicit buckets catch values at or below zero and values above
+    the last bound. Recording is O(log buckets) via bisect; percentile
+    queries walk the cumulative counts once.
+    """
+
+    __slots__ = ("bounds", "buckets", "overflow", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[Tuple[float, ...]] = None) -> None:
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else default_bounds()
+        )
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.buckets: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 < q <= 100), nearest-rank over
+        bucket upper bounds, clamped to the exact observed min/max so a
+        sparse tail never reports a value outside the data."""
+        if not 0 < q <= 100:
+            raise ValueError("percentile must be in (0, 100], got %r" % q)
+        if not self.count or self.min is None or self.max is None:
+            return 0.0
+        rank = q * self.count / 100.0
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                estimate = self.bounds[index]
+                return min(max(estimate, self.min), self.max)
+        return self.max  # rank falls in the overflow bucket
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """All live metrics, keyed by ``(name, labels)``.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and cheap
+    enough to call per record (one dict lookup on a tuple key); hot
+    hook sites additionally cache the returned instrument. A name must
+    keep one kind: re-requesting ``name`` as a different instrument
+    kind raises, which catches label/name typos early.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelTuple], object] = {}
+
+    def _get(self, kind: str, name: str, labels: LabelTuple, factory):
+        key = (kind, name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            for other_kind, other_name, other_labels in self._metrics:
+                if other_name == name and other_kind != kind:
+                    raise ValueError(
+                        "metric %r already registered as a %s" % (name, other_kind)
+                    )
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, labels: LabelTuple = ()) -> Counter:
+        return self._get("counter", name, labels, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str, labels: LabelTuple = ()) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        labels: LabelTuple = (),
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            "histogram", name, labels, lambda: Histogram(bounds)
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Tuple[str, str, LabelTuple]]:
+        return iter(self._metrics)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Deterministically ordered snapshot rows, one per metric.
+
+        Rows sort by (name, kind, stringified labels) so the JSONL
+        export is byte-stable across runs regardless of registration
+        order.
+        """
+        rows = []
+        for (kind, name, labels), metric in self._metrics.items():
+            row: Dict[str, object] = {
+                "kind": kind,
+                "name": name,
+                "labels": list(labels),
+            }
+            row.update(metric.snapshot())  # type: ignore[attr-defined]
+            rows.append(row)
+        rows.sort(key=lambda row: (row["name"], row["kind"], repr(row["labels"])))
+        return rows

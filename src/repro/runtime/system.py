@@ -34,6 +34,7 @@ from repro.core.metrics import NetworkMetrics, measure
 from repro.core.verification import check_step_property
 from repro.core.wiring import MergerConvention, Wiring
 from repro.errors import ComponentNotFound, ProtocolError
+from repro.obs import recorder as _obs
 from repro.runtime.combining import BatchTokenMsg, Combiner, CombiningConfig
 from repro.runtime.directory import ComponentDirectory
 from repro.runtime.host import NodeHost
@@ -176,8 +177,12 @@ class AdaptiveCountingSystem:
 
     def stabilize(self) -> List[Path]:
         """Run crash recovery now; returns the restored component paths."""
+        began_at = self.sim.now
         restored = self.stabilizer.stabilize()
         self.lost_components.clear()
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.stabilization(began_at, self.sim.now, len(restored))
         return restored
 
     def note_node_joined(self, node_id: int) -> None:
@@ -236,6 +241,9 @@ class AdaptiveCountingSystem:
         self._token_counter += 1
         self.token_stats.issued += 1
         self.injected_per_wire[wire] += 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.token_injected(token)
         self._attempt_injection(token, wire, from_node)
         return token
 
@@ -246,9 +254,14 @@ class AdaptiveCountingSystem:
             result = self.find_input(wire, from_node)
         except ComponentNotFound:
             token.reroutes += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.token_rerouted(self.sim.now, token)
             if token.reroutes > MAX_REROUTES:
                 self.stats.dropped_tokens += 1
                 self.token_stats.record_dropped(token)
+                if obs.enabled:
+                    obs.token_dropped(self.sim.now, token)
                 return
             self._inject_pending[wire] += 1
 
@@ -292,9 +305,18 @@ class AdaptiveCountingSystem:
                 self.reroute_token(path, port, token)
             return
         owner = self.directory.owner(path)
-        for port, token in items:
-            token.hops += 1
-            self._owe(path, port, token)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            now = self.sim.now
+            batch_size = len(items)
+            for port, token in items:
+                token.hops += 1
+                self._owe(path, port, token)
+                obs.token_hop(now, token, path, port, batch_size)
+        else:
+            for port, token in items:
+                token.hops += 1
+                self._owe(path, port, token)
         self._inflight[path] = self._inflight.get(path, 0) + len(items)
         if len(items) == 1:
             port, token = items[0]
@@ -335,6 +357,9 @@ class AdaptiveCountingSystem:
         self._unowe(token)
         token.owed = key
         self._owed[key] = self._owed.get(key, 0) + 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.owed_delta(1)
 
     def _unowe(self, token: Token) -> None:
         """The token arrived somewhere (or was dropped): settle its debt."""
@@ -347,6 +372,9 @@ class AdaptiveCountingSystem:
             self._owed[key] = remaining
         else:
             del self._owed[key]
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.owed_delta(-1)
 
     def tokens_owed(self, path: Path, port: int) -> int:
         """Tokens counted as emitted toward (``path``, ``port``) that
@@ -356,9 +384,14 @@ class AdaptiveCountingSystem:
 
     def _retry(self, path: Path, port: int, token: Token) -> None:
         token.reroutes += 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.token_rerouted(self.sim.now, token)
         if token.reroutes > MAX_REROUTES:
             self.stats.dropped_tokens += 1
             self.token_stats.record_dropped(token)
+            if obs.enabled:
+                obs.token_dropped(self.sim.now, token)
             self._unowe(token)
             return
         self.sim.schedule(RETRY_DELAY, lambda: self.send_token(path, port, token))
@@ -378,6 +411,9 @@ class AdaptiveCountingSystem:
             return
         if covering is not None:
             token.reroutes += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.token_rerouted(self.sim.now, token)
             spec = self.tree.node(path)
             current_port = port
             while spec.path != covering:
@@ -396,6 +432,9 @@ class AdaptiveCountingSystem:
         descendants = self.directory.live_descendants(path)
         if descendants:
             token.reroutes += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.token_rerouted(self.sim.now, token)
             member, member_port = self.wiring.descend_input(
                 self.tree.node(path), port, self.directory.live_paths()
             )

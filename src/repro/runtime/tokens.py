@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.obs import recorder as _obs
+
 
 class Token:
     """One client token traversing the adaptive counting network."""
@@ -107,6 +109,9 @@ class TokenStats:
         self.total_hops += token.hops
         self.total_reroutes += token.reroutes
         self.latencies.append(token.latency)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.token_retired(token)
 
     def record_dropped(self, token: Token) -> None:
         self.dropped += 1

@@ -33,6 +33,7 @@ from math import isfinite
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import recorder as _obs
 
 
 class EventHandle:
@@ -151,6 +152,9 @@ class Simulator:
                 return False
             self._budget = budget - 1
         self.events_run += 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.event_executed(time)
         return True
 
     def step(self) -> bool:
@@ -165,6 +169,9 @@ class Simulator:
             handle.callback = None
             self.now = time
             self.events_run += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.event_executed(time)
             callback()  # type: ignore[misc]  # live entries hold a callback
             return True
         return False
@@ -205,6 +212,9 @@ class Simulator:
                 handle.callback = None
                 self.now = entry[0]
                 self.events_run += 1
+                obs = _obs.ACTIVE
+                if obs.enabled:
+                    obs.event_executed(entry[0])
                 callback()  # type: ignore[misc]
             return self.events_run - started
         finally:
@@ -237,6 +247,9 @@ class Simulator:
                 handle.callback = None
                 self.now = entry[0]
                 self.events_run += 1
+                obs = _obs.ACTIVE
+                if obs.enabled:
+                    obs.event_executed(entry[0])
                 callback()  # type: ignore[misc]
         finally:
             self._budget = outer_budget

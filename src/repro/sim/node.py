@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, Optional
 
 from repro.errors import SimulationError
+from repro.obs import recorder as _obs
 from repro.sim.events import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 
@@ -78,6 +79,9 @@ class Envelope:
         if self.addressee() is None:
             bus._finish(self.kind)
             bus.messages_dropped += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.bus_dropped(bus.simulator.now, self.kind)
             if self.on_undeliverable is not None:
                 self.on_undeliverable()
             return
@@ -86,6 +90,9 @@ class Envelope:
         busy = bus._busy_until.get(self.to_address, 0.0)
         finish = (busy if busy > now else now) + bus.service_time
         bus._busy_until[self.to_address] = finish
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.bus_queued(now, self.kind, finish - now)
         # Same-timestamp fast path: an idle destination with zero
         # service cost processes the message in this very event when the
         # simulator certifies that is order- and accounting-identical.
@@ -99,12 +106,17 @@ class Envelope:
         bus = self.bus
         current = self.addressee()
         bus._finish(self.kind)
+        obs = _obs.ACTIVE
         if current is None:
             bus.messages_dropped += 1
+            if obs.enabled:
+                obs.bus_dropped(bus.simulator.now, self.kind)
             if self.on_undeliverable is not None:
                 self.on_undeliverable()
             return
         bus.messages_delivered += 1
+        if obs.enabled:
+            obs.bus_delivered(bus.simulator.now, self.kind)
         current.handle_message(self.message)
 
 
@@ -182,6 +194,9 @@ class MessageBus:
         self.messages_sent += 1
         counts = self._in_flight_by_kind
         counts[kind] = counts.get(kind, 0) + 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.bus_sent(self.simulator.now, kind)
         # None when the destination is not registered yet: such mail may
         # be picked up by whoever registers first (existing semantics).
         sent_epoch = self._epochs.get(to_address) if to_address in self._processes else None

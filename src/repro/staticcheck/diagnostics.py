@@ -57,6 +57,7 @@ KNOWN_CODES: Dict[str, str] = {
     "RSC303": "handler-context code bypasses the message bus",
     "RSC304": "mutable default argument",
     "RSC305": "timeout timer scheduled without keeping its cancellation handle",
+    "RSC306": "eager string formatting at an observability record call",
     # Pass 4 — protocol message flow.
     "RSC400": "flow analysis limitation (unreadable file, dynamic RPC name)",
     "RSC401": "RPC sent with no matching rpc_* handler",

@@ -1,8 +1,8 @@
 """Pass 3 — project-specific AST lint rules (codes ``RSC3xx``).
 
-Four rules, each born from an invariant the rest of the codebase
-relies on, enforced with :mod:`ast` visitors — no third-party linter
-needed, so the gate runs anywhere the package imports:
+A small set of rules, each born from an invariant the rest of the
+codebase relies on, enforced with :mod:`ast` visitors — no third-party
+linter needed, so the gate runs anywhere the package imports:
 
 ``RSC301`` — no unseeded randomness.
     Every experiment and simulation in this repository must be
@@ -12,11 +12,14 @@ needed, so the gate runs anywhere the package imports:
     or OS state; randomness must flow from an explicitly seeded
     ``random.Random(seed)`` injected into the consumer.
 
-``RSC302`` — no wall-clock inside ``repro.sim`` / ``repro.runtime``.
+``RSC302`` — no wall-clock inside ``repro.sim`` / ``repro.runtime`` /
+    ``repro.obs``.
     Simulated time is the only clock those layers may observe
     (``Simulator.now``); reading ``time.time()`` or ``datetime.now()``
-    there makes runs machine-dependent and unrepeatable. The rule is
-    scoped to those packages — benchmarks may measure real time.
+    there makes runs machine-dependent and unrepeatable — and for
+    ``repro.obs`` it would break the byte-identical trace guarantee.
+    The rule is scoped to those packages — benchmarks may measure real
+    time.
 
 ``RSC303`` — message-passing discipline.
     Inter-node effects must travel through the message bus: a message
@@ -45,6 +48,16 @@ needed, so the gate runs anywhere the package imports:
     — the lazy-deletion fast path cannot help, and every fired timer
     re-checks state that already resolved. Bind the handle and
     ``cancel()`` it on the success path.
+
+``RSC306`` — no eager string formatting at observability record calls.
+    ``repro.obs`` hook sites run on the simulator/runtime hot paths and
+    are designed to cost one attribute load and a truthiness test when
+    instrumentation is off — but an f-string, ``"..." % x`` or
+    ``"...".format(x)`` in the *argument list* of a record call is
+    evaluated before the call regardless of whether the recorder is
+    enabled, silently re-introducing per-event allocation. Metrics are
+    keyed by name + label *tuples* and trace args carry raw values;
+    formatting belongs in the exporters, at export time.
 
 Use :func:`lint_source` for one buffer, :func:`lint_paths` for files
 and directory trees.
@@ -77,7 +90,7 @@ _WALL_CLOCK_TIME = {
 _WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
 
 #: Packages in which RSC302 applies.
-_SIM_TIME_PACKAGES = ("repro.sim", "repro.runtime")
+_SIM_TIME_PACKAGES = ("repro.sim", "repro.runtime", "repro.obs")
 
 #: Names whose zero-argument call still yields seeded behaviour.
 _SEEDABLE_CLASSES = {"Random"}
@@ -91,6 +104,64 @@ _CALLBACK_KWARGS = ("on_undeliverable", "on_timeout")
 #: Name fragments that mark a scheduled callback (or its delay) as a
 #: timeout guard for RSC305.
 _TIMEOUT_FRAGMENTS = ("timeout", "expire", "deadline")
+
+#: Receiver-name fragments that mark a method call as an observability
+#: record call for RSC306 (``obs.token_hop``, ``recorder.rpc_issued``,
+#: ``self.metrics.counter``, ``trace.add``, ``_obs.ACTIVE...``).
+_OBS_RECEIVER_FRAGMENTS = ("obs", "recorder", "metrics", "trace")
+
+
+def _is_obs_receiver(node: ast.expr) -> bool:
+    """Whether a call receiver names an observability object."""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is None:
+            continue
+        if name == "ACTIVE":
+            return True
+        lowered = name.lower()
+        if any(fragment in lowered for fragment in _OBS_RECEIVER_FRAGMENTS):
+            return True
+    return False
+
+
+def _eager_format(node: ast.expr) -> Optional[Tuple[str, int]]:
+    """The first eager string-formatting expression under ``node``.
+
+    Returns ``(description, line)`` for an f-string, a ``%`` format on
+    a string literal, or a ``str.format`` call — all of which execute
+    *before* the enclosing record call, whether or not the recorder is
+    enabled. Bodies of nested lambdas/defs are skipped (deferred code
+    is not evaluated at the call site).
+    """
+    if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    if isinstance(node, ast.JoinedStr):
+        return ("f-string", node.lineno)
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Mod)
+        and isinstance(node.left, ast.Constant)
+        and isinstance(node.left.value, str)
+    ):
+        return ("%-formatted string", node.lineno)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+        and isinstance(node.func.value, ast.Constant)
+        and isinstance(node.func.value.value, str)
+    ):
+        return ("str.format() call", node.lineno)
+    for child in ast.iter_child_nodes(node):
+        found = _eager_format(child)
+        if found is not None:
+            return found
+    return None
 
 
 def _mentions_timeout(node: ast.expr) -> bool:
@@ -345,6 +416,22 @@ class _LintVisitor(ast.NodeVisitor):
                         "time" % (base.attr, func.attr, self.module),
                         self.filename,
                         line=node.lineno,
+                    )
+        # RSC306: eager label/message formatting at an observability
+        # record call — evaluated even when instrumentation is off.
+        if _is_obs_receiver(base):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                found = _eager_format(arg)
+                if found is not None:
+                    description, line = found
+                    self.report.add(
+                        "RSC306",
+                        "%s built eagerly in the arguments of the "
+                        "observability record call .%s(); pass label tuples "
+                        "and raw values instead — formatting belongs in the "
+                        "exporters" % (description, func.attr),
+                        self.filename,
+                        line=line,
                     )
         # RSC303a: re-entrant handle_message() delivery from inside a
         # handler. Scoped to handler methods: the bus and test drivers

@@ -73,3 +73,44 @@ class TestAssignment:
             balancer.submit("b-%d" % i)
         balancer.settle()
         assert balancer.imbalance() <= 1
+
+
+class TestBalancingUnderChurn:
+    """Balance must survive joins *and* crashes applied from a seeded
+    trace while jobs are in flight: recovery reconstructs lost
+    components, every job still lands, and the step property holds on
+    the output wires."""
+
+    def run_churned(self, seed, jobs=60, churn_every=6, min_nodes=4):
+        from repro.core.verification import check_step_property
+
+        system = AdaptiveCountingSystem(width=16, seed=seed, initial_nodes=8)
+        system.converge()
+        balancer = LoadBalancer(system, num_servers=4)
+        rng = random.Random(seed + 1)
+        events = 0
+        for i in range(jobs):
+            balancer.submit("job-%d" % i, wire=rng.randrange(16))
+            if churn_every and i % churn_every == churn_every - 1:
+                if rng.random() < 0.5:
+                    system.add_node()
+                    events += 1
+                elif system.num_nodes > min_nodes:
+                    system.crash_node()
+                    events += 1
+        loads = balancer.settle()
+        assert events > 0
+        system.verify()
+        check_step_property(system.output_counts)
+        return balancer, loads
+
+    def test_seeded_join_crash_trace_keeps_balance(self):
+        balancer, loads = self.run_churned(seed=11)
+        assert sum(loads) == 60
+        assert len(balancer.assignments) == 60
+        assert balancer.imbalance() <= 1
+
+    def test_churned_assignment_is_seed_deterministic(self):
+        first, _ = self.run_churned(seed=13)
+        second, _ = self.run_churned(seed=13)
+        assert first.assignments == second.assignments

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.apps.producer_consumer import ProducerConsumerMatcher
+from repro.core.verification import check_step_property
 from repro.runtime.system import AdaptiveCountingSystem
 
 
@@ -76,3 +77,84 @@ class TestMatching:
         system = AdaptiveCountingSystem(width=8, seed=7)
         with pytest.raises(ValueError):
             ProducerConsumerMatcher(system, system)
+
+
+class TestMatchingUnderChurn:
+    """Matching must survive membership churn on both networks: nodes
+    join and crash mid-stream, recovery reconstructs lost components,
+    and the matcher still pairs every supply with exactly one request."""
+
+    def churn(self, system, rng, min_nodes=3):
+        """One membership event; returns how many were applied."""
+        if rng.random() < 0.5:
+            system.add_node()
+            return 1
+        if system.num_nodes > min_nodes:
+            system.crash_node()
+            return 1
+        return 0
+
+    def test_seeded_join_crash_trace_matches_everything(self):
+        """Churn applied at quiescent points keeps ranks gap-free (no
+        token is in flight when a component is lost), so every one of
+        the 40 pairs still matches exactly."""
+        matcher = build_matcher(8)
+        rng = random.Random(42)
+        count = 40
+        events = 0
+        for i in range(count):
+            matcher.offer("p%d" % i)
+            matcher.request("c%d" % i)
+            if i % 5 == 4:  # one membership event every five pairs
+                matcher.settle()
+                events += self.churn(matcher.supply_system, rng)
+                events += self.churn(matcher.request_system, rng)
+        matches, supply_left, requests_left = matcher.settle()
+        assert events > 0
+        assert (matches, supply_left, requests_left) == (count, 0, 0)
+        assert sorted(m.rank for m in matcher.matches) == list(range(count))
+        # Both token planes end in a verified quiescent state with the
+        # step property on their output wires.
+        for system in (matcher.supply_system, matcher.request_system):
+            system.verify()
+            check_step_property(system.output_counts)
+
+    def test_midflight_crashes_conserve_tokens(self):
+        """Crashing while tokens are in flight may disturb them —
+        re-traversals can shift rank assignment, so perfect cross-
+        network matching is not guaranteed — but no token is ever
+        lost and both networks still satisfy the step property."""
+        matcher = build_matcher(8)
+        rng = random.Random(42)
+        count = 40
+        events = 0
+        for i in range(count):
+            matcher.offer("p%d" % i)
+            matcher.request("c%d" % i)
+            if i % 5 == 4:
+                events += self.churn(matcher.supply_system, rng)
+                events += self.churn(matcher.request_system, rng)
+        matches, supply_left, requests_left = matcher.settle()
+        assert events > 0
+        assert matches + supply_left == count
+        assert matches + requests_left == count
+        for system in (matcher.supply_system, matcher.request_system):
+            assert system.token_stats.retired == count
+            assert system.stats.dropped_tokens == 0
+            system.verify()
+            check_step_property(system.output_counts)
+
+    def test_churn_run_is_seed_deterministic(self):
+        def run(seed):
+            matcher = build_matcher(seed)
+            rng = random.Random(seed)
+            for i in range(25):
+                matcher.offer("p%d" % i)
+                matcher.request("c%d" % i)
+                if i % 6 == 5:
+                    self.churn(matcher.supply_system, rng)
+                    self.churn(matcher.request_system, rng)
+            matcher.settle()
+            return [(m.rank, m.producer, m.consumer) for m in matcher.matches]
+
+        assert run(9) == run(9)

@@ -63,9 +63,9 @@ class TestJsonPayload:
 
 
 class TestBaselineGate:
-    def make_baseline(self, name, rate):
+    def make_baseline(self, name, rate, schema=SCHEMA_VERSION):
         return {
-            "schema": SCHEMA_VERSION,
+            "schema": schema,
             "bench_id": BENCH_ID,
             "profile": "smoke",
             "seed": 0,
@@ -76,32 +76,57 @@ class TestBaselineGate:
         return ScenarioResult(name=name, ops_per_sec=rate, events=1)
 
     def test_within_threshold_passes(self):
-        ok, lines = compare_to_baseline(
+        ok, lines, missing = compare_to_baseline(
             [self.result("a", 80.0)], self.make_baseline("a", 100.0), 0.30
         )
         assert ok
         assert "ok" in lines[0]
+        assert missing == []
 
     def test_regression_beyond_threshold_fails(self):
-        ok, lines = compare_to_baseline(
+        ok, lines, _missing = compare_to_baseline(
             [self.result("a", 60.0)], self.make_baseline("a", 100.0), 0.30
         )
         assert not ok
         assert "FAIL" in lines[0]
 
     def test_improvement_passes(self):
-        ok, _ = compare_to_baseline(
+        ok, _, _ = compare_to_baseline(
             [self.result("a", 500.0)], self.make_baseline("a", 100.0), 0.30
         )
         assert ok
 
     def test_new_scenario_never_fails(self):
-        ok, lines = compare_to_baseline(
+        ok, lines, missing = compare_to_baseline(
             [self.result("b", 1.0)], self.make_baseline("a", 100.0), 0.30
         )
         assert ok
         assert any("NEW" in line for line in lines)
         assert any("MISSING" in line for line in lines)
+        assert missing == ["a"]
+
+    def test_missing_scenarios_listed_sorted(self):
+        baseline = self.make_baseline("zeta", 100.0)
+        baseline["scenarios"]["alpha"] = {
+            "ops_per_sec": 50.0,
+            "events": 1,
+            "metrics": {},
+        }
+        ok, _, missing = compare_to_baseline(
+            [self.result("other", 1.0)], baseline, 0.30
+        )
+        assert ok  # missing is the caller's decision, not a gate failure
+        assert missing == ["alpha", "zeta"]
+
+    def test_schema_1_baseline_still_comparable(self):
+        """BENCH_4 (schema 1) stays usable as the CI overhead-gate
+        baseline across the schema 2 bump."""
+        ok, lines, missing = compare_to_baseline(
+            [self.result("a", 100.0)], self.make_baseline("a", 100.0, schema=1), 0.30
+        )
+        assert ok
+        assert missing == []
+        assert "ok" in lines[0]
 
     def test_schema_mismatch_rejected(self):
         baseline = self.make_baseline("a", 100.0)

@@ -1,0 +1,148 @@
+"""Tests for ``repro.obs.export``: JSONL, Chrome traces, validation,
+and byte-determinism of same-seed exports."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Recorder,
+    chrome_trace_payload,
+    metrics_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import recording
+from repro.obs.trace import TraceBuffer, TraceEvent
+
+from tests.obs.test_recorder import run_small_system
+
+
+class TestMetricsJsonl:
+    def test_one_object_per_line_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        text = metrics_jsonl(registry)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert [row["name"] for row in rows] == ["a.level", "b.count"]
+        # Byte-stable form: compact separators, sorted keys.
+        assert lines[0] == json.dumps(
+            rows[0], sort_keys=True, separators=(",", ":")
+        )
+
+    def test_empty_registry_is_empty_text(self):
+        assert metrics_jsonl(MetricsRegistry()) == ""
+
+    def test_write_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(3.0)
+        path = tmp_path / "metrics.jsonl"
+        write_metrics_jsonl(registry, str(path))
+        row = json.loads(path.read_text())
+        assert row["kind"] == "histogram"
+        assert row["count"] == 1
+
+
+class TestChromeTracePayload:
+    def test_payload_shape_and_accounting(self):
+        buffer = TraceBuffer(capacity=2)
+        for index in range(5):
+            buffer.add(TraceEvent("tick", "t", "i", ts=float(index)))
+        payload = chrome_trace_payload(buffer)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["recorded_events"] == 5
+        assert payload["otherData"]["dropped_events"] == 3
+        assert payload["otherData"]["ring_capacity"] == 2
+        assert len(payload["traceEvents"]) == 2
+
+    def test_write_validates_first(self, tmp_path):
+        buffer = TraceBuffer()
+        buffer.add(TraceEvent("bad", "t", "X", ts=0.0))  # X without dur
+        with pytest.raises(ValueError, match="invalid Chrome trace"):
+            write_chrome_trace(buffer, str(tmp_path / "t.json"))
+        assert not (tmp_path / "t.json").exists()
+
+
+class TestValidator:
+    def base_event(self, **overrides):
+        event = {"name": "e", "cat": "t", "ph": "i", "ts": 0.0, "pid": 0, "tid": 0}
+        event.update(overrides)
+        return event
+
+    def wrap(self, *events):
+        return {"traceEvents": list(events)}
+
+    def test_valid_payload_passes(self):
+        assert validate_chrome_trace(self.wrap(self.base_event())) == []
+
+    def test_non_object_top_level(self):
+        assert validate_chrome_trace([]) == ["top level is not a JSON object"]
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents is missing or not an array"]
+
+    def test_unknown_phase_flagged(self):
+        problems = validate_chrome_trace(self.wrap(self.base_event(ph="Z")))
+        assert any("unknown phase" in p for p in problems)
+
+    def test_complete_event_requires_dur(self):
+        problems = validate_chrome_trace(self.wrap(self.base_event(ph="X")))
+        assert any("without dur" in p for p in problems)
+
+    def test_async_event_requires_id_and_cat(self):
+        event = self.base_event(ph="b")
+        del event["cat"]
+        problems = validate_chrome_trace(self.wrap(event))
+        assert any("without id" in p for p in problems)
+        assert any("without cat" in p for p in problems)
+
+    def test_counter_requires_numeric_args(self):
+        problems = validate_chrome_trace(
+            self.wrap(self.base_event(ph="C", args={"x": "nan-string"}))
+        )
+        assert any("numeric args" in p for p in problems)
+
+    def test_metadata_name_must_be_known(self):
+        problems = validate_chrome_trace(
+            self.wrap(self.base_event(ph="M", name="mystery", args={}))
+        )
+        assert any("unknown name" in p for p in problems)
+
+    def test_nonnumeric_ts_flagged(self):
+        problems = validate_chrome_trace(self.wrap(self.base_event(ts="later")))
+        assert any("numeric ts" in p for p in problems)
+
+
+class TestDeterminism:
+    def export_once(self, tmp_path, name):
+        with recording(Recorder(trace=True)) as recorder:
+            recorder.begin_section("run")
+            run_small_system()
+        trace_path = tmp_path / ("%s-trace.json" % name)
+        metrics_path = tmp_path / ("%s-metrics.jsonl" % name)
+        payload = write_chrome_trace(
+            recorder.trace, str(trace_path), metrics=recorder.metrics
+        )
+        write_metrics_jsonl(recorder.metrics, str(metrics_path))
+        return payload, trace_path.read_bytes(), metrics_path.read_bytes()
+
+    def test_same_seed_exports_byte_identical(self, tmp_path):
+        """The determinism pin: two same-seed runs export the same
+        bytes — trace and metrics both. Any wall-clock read, iteration-
+        order leak or unseeded randomness in the pipeline breaks this."""
+        payload_a, trace_a, metrics_a = self.export_once(tmp_path, "a")
+        _payload_b, trace_b, metrics_b = self.export_once(tmp_path, "b")
+        assert trace_a == trace_b
+        assert metrics_a == metrics_b
+        assert validate_chrome_trace(payload_a) == []
+
+    def test_live_system_trace_is_structurally_valid(self, tmp_path):
+        payload, _, _ = self.export_once(tmp_path, "v")
+        assert validate_chrome_trace(payload) == []
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"token", "hop", "tokens_in_flight", "process_name"} <= names

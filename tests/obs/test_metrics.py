@@ -1,0 +1,146 @@
+"""Tests for ``repro.obs.metrics``: instruments, percentiles, registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_bounds,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.snapshot() == {"value": 5}
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+
+class TestDefaultBounds:
+    def test_geometric_ladder(self):
+        bounds = default_bounds(start=1.0, factor=2.0, count=4)
+        assert bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            default_bounds(start=0.0)
+        with pytest.raises(ValueError):
+            default_bounds(factor=1.0)
+        with pytest.raises(ValueError):
+            default_bounds(count=0)
+
+
+class TestHistogram:
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+
+    def test_mean_min_max_exact(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        """Bucket upper bounds never report a value outside the data."""
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for _ in range(100):
+            histogram.record(5.0)
+        # 5.0 falls in the <=10.0 bucket; without clamping p50 would
+        # report 10.0.
+        assert histogram.p50 == 5.0
+        assert histogram.p99 == 5.0
+
+    def test_percentile_ordering_on_spread_data(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.p50 <= histogram.p90 <= histogram.p99 <= histogram.max
+
+    def test_median_of_uniform_data_is_near_middle(self):
+        histogram = Histogram(bounds=tuple(float(b) for b in range(1, 101)))
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.p50 == 50.0
+        assert histogram.p99 == 99.0
+
+    def test_overflow_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.record(1000.0)
+        assert histogram.overflow == 1
+        assert histogram.p99 == 1000.0  # overflow rank returns exact max
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_rejects_bad_percentile(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_snapshot_shape(self):
+        histogram = Histogram()
+        histogram.record(2.0)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {
+            "count",
+            "mean",
+            "min",
+            "max",
+            "p50",
+            "p90",
+            "p99",
+            "overflow",
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", ("x",)) is not registry.counter("a", ("y",))
+
+    def test_label_tuples_key_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("bus.sent", ("token",)).inc(3)
+        registry.counter("bus.sent", ("chord",)).inc(5)
+        values = {
+            tuple(row["labels"]): row["value"]
+            for row in registry.rows()
+            if row["name"] == "bus.sent"
+        }
+        assert values == {("token",): 3, ("chord",): 5}
+
+    def test_cross_kind_name_reuse_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("tokens.retired")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("tokens.retired")
+
+    def test_rows_sorted_regardless_of_registration_order(self):
+        first = MetricsRegistry()
+        first.counter("b")
+        first.counter("a")
+        second = MetricsRegistry()
+        second.counter("a")
+        second.counter("b")
+        assert [r["name"] for r in first.rows()] == ["a", "b"]
+        assert first.rows() == second.rows()

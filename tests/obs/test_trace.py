@@ -1,0 +1,69 @@
+"""Tests for ``repro.obs.trace``: events, scaling, the ring buffer."""
+
+import pytest
+
+from repro.obs.trace import MICROSECONDS_PER_SIM_UNIT, TraceBuffer, TraceEvent
+
+
+class TestTraceEvent:
+    def test_to_json_scales_sim_time_to_microseconds(self):
+        event = TraceEvent("slice", "test", "X", ts=2.0, dur=0.5)
+        payload = event.to_json()
+        assert payload["ts"] == 2.0 * MICROSECONDS_PER_SIM_UNIT
+        assert payload["dur"] == 0.5 * MICROSECONDS_PER_SIM_UNIT
+
+    def test_optional_fields_omitted(self):
+        payload = TraceEvent("tick", "test", "i", ts=1.0).to_json()
+        assert "dur" not in payload
+        assert "id" not in payload
+        assert "args" not in payload
+
+    def test_async_event_without_id_rejected(self):
+        event = TraceEvent("token", "token", "b", ts=0.0)
+        with pytest.raises(ValueError, match="needs an id"):
+            event.to_json()
+
+    def test_async_event_with_id(self):
+        payload = TraceEvent("token", "token", "b", ts=0.0, id=7).to_json()
+        assert payload["id"] == 7
+        assert payload["cat"] == "token"
+
+
+class TestTraceBuffer:
+    def event(self, index):
+        return TraceEvent("e%d" % 0, "test", "i", ts=float(index))
+
+    def test_records_in_order(self):
+        buffer = TraceBuffer(capacity=10)
+        for index in range(3):
+            buffer.add(self.event(index))
+        assert [e.ts for e in buffer] == [0.0, 1.0, 2.0]
+        assert buffer.recorded_events == 3
+        assert buffer.dropped_events == 0
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        buffer = TraceBuffer(capacity=4)
+        for index in range(10):
+            buffer.add(self.event(index))
+        assert len(buffer) == 4
+        # The tail of the run survives; the oldest six were dropped.
+        assert [e.ts for e in buffer] == [6.0, 7.0, 8.0, 9.0]
+        assert buffer.recorded_events == 10
+        assert buffer.dropped_events == 6
+
+    def test_metadata_survives_ring_wrap(self):
+        buffer = TraceBuffer(capacity=2)
+        buffer.add(
+            TraceEvent(
+                "process_name", "__metadata", "M", 0.0, args={"name": "run"}
+            )
+        )
+        for index in range(50):
+            buffer.add(self.event(index))
+        events = buffer.events()
+        assert events[0].ph == "M"  # metadata first, never evicted
+        assert len(events) == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)

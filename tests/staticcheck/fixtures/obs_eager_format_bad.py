@@ -1,0 +1,36 @@
+"""Negative fixture for RSC306: eager formatting at obs record calls.
+
+Every record call below builds a formatted string in its argument
+list, so the string is allocated on the hot path even when the
+installed recorder is the no-op NullRecorder. The lint must flag each
+one. Lives under ``fixtures/`` so ``lint_paths`` skips it in repo-wide
+runs; the test feeds it to ``lint_source`` directly.
+"""
+
+from repro.obs import recorder as _obs
+
+
+def hot_loop(system, tokens):
+    obs = _obs.ACTIVE
+    for index in range(tokens):
+        token = system.inject_token()
+        if obs.enabled:
+            # BAD: f-string label evaluated before the call.
+            obs.bus_sent(system.sim.now, f"token-{token.entry_wire}")
+            # BAD: %-formatting in a keyword argument.
+            obs.token_rerouted(system.sim.now, token="token %d" % token.token_id)
+
+
+def label_by_wire(metrics, wire, latency):
+    # BAD: str.format() label — should be a label tuple (wire,).
+    metrics.histogram("tokens.latency.{}".format(wire)).record(latency)
+    # BAD: f-string nested inside a container argument.
+    metrics.counter("tokens.injected", (f"wire-{wire}",)).inc()
+
+
+def fine_paths(metrics, recorder, wire, latency):
+    # OK: constant names, tuple labels, raw values.
+    metrics.histogram("tokens.latency", (wire,)).record(latency)
+    recorder.owed_delta(1)
+    # OK: formatting deferred inside a lambda is not evaluated here.
+    recorder.debug_hook(lambda: "wire %d" % wire)

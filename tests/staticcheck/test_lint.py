@@ -182,6 +182,70 @@ class TestTimerLeaks:
         assert lint_source(source, "t.py").codes() == ["RSC305"]
 
 
+class TestObsEagerFormat:
+    """RSC306 — no eager string formatting at obs record calls."""
+
+    OBS_FIXTURE = os.path.join(HERE, "fixtures", "obs_eager_format_bad.py")
+
+    def test_fixture_trips_every_bad_site(self):
+        report = lint_paths([self.OBS_FIXTURE])
+        assert report.codes() == ["RSC306"] * 4
+        lines = [d.line for d in report]
+        assert lines == sorted(set(lines))  # four distinct sites
+
+    def test_fstring_label_flagged(self):
+        source = (
+            "def hook(obs, now, wire):\n"
+            "    obs.bus_sent(now, f'wire-{wire}')\n"
+        )
+        report = lint_source(source, "x.py")
+        assert report.codes() == ["RSC306"]
+        assert report.diagnostics[0].line == 2
+
+    def test_percent_format_in_keyword_flagged(self):
+        source = (
+            "def hook(recorder, now, kind):\n"
+            "    recorder.bus_dropped(now, kind='k-%s' % kind)\n"
+        )
+        assert lint_source(source, "x.py").codes() == ["RSC306"]
+
+    def test_str_format_on_metrics_flagged(self):
+        source = (
+            "def hook(metrics, wire, value):\n"
+            "    metrics.counter('c.{}'.format(wire)).inc(value)\n"
+        )
+        assert lint_source(source, "x.py").codes() == ["RSC306"]
+
+    def test_label_tuple_and_raw_values_clean(self):
+        source = (
+            "def hook(obs, metrics, now, kind, wire, latency):\n"
+            "    obs.bus_sent(now, kind)\n"
+            "    metrics.histogram('tokens.latency', (wire,)).record(latency)\n"
+        )
+        assert lint_source(source, "x.py").ok
+
+    def test_formatting_on_non_obs_receiver_clean(self):
+        source = (
+            "def log(report, code, name):\n"
+            "    report.add(code, 'bad thing in %s' % name)\n"
+        )
+        assert lint_source(source, "x.py").ok
+
+    def test_deferred_lambda_formatting_clean(self):
+        source = (
+            "def hook(recorder, wire):\n"
+            "    recorder.debug_hook(lambda: 'wire %d' % wire)\n"
+        )
+        assert lint_source(source, "x.py").ok
+
+    def test_wall_clock_applies_to_obs_package(self):
+        """repro.obs is sim-time scoped: a wall-clock read there would
+        break byte-identical exports."""
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        report = lint_source(source, "export.py", module="repro.obs.export")
+        assert report.codes() == ["RSC302"]
+
+
 class TestRepoIsClean:
     """The lint rules must pass on the repository's own code."""
 

@@ -39,7 +39,7 @@ class TestBenchCli:
     def test_bench_smoke_json(self, capsys, tmp_path):
         """`repro bench` runs a full profile, prints the JSON document,
         and writes it to --output."""
-        output = tmp_path / "BENCH_4.json"
+        output = tmp_path / "BENCH_5.json"
         code = main(
             ["bench", "--profile", "smoke", "--json", "--output", str(output)]
         )
@@ -47,10 +47,15 @@ class TestBenchCli:
         import json
 
         payload = json.loads(capsys.readouterr().out)
-        assert payload["bench_id"] == "BENCH_4"
+        assert payload["bench_id"] == "BENCH_5"
+        assert payload["schema"] == 2
         assert len(payload["scenarios"]) >= 3
         routing = payload["scenarios"]["token_routing"]
         assert routing["metrics"]["speedup_vs_scan"] >= 5.0
+        for scenario in ("inject_to_retire", "large_churn"):
+            metrics = payload["scenarios"][scenario]["metrics"]
+            assert metrics["latency_p50"] > 0
+            assert metrics["latency_p99"] >= metrics["latency_p50"]
         assert json.loads(output.read_text()) == payload
 
     def test_bench_single_scenario_text(self, capsys):
@@ -98,3 +103,181 @@ class TestBenchCli:
     def test_bench_unknown_scenario_errors(self, capsys):
         assert main(["bench", "--scenario", "warp_drive"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_missing_baseline_scenario_exits_2(self, capsys, tmp_path):
+        """A full (unfiltered) run must cover every baseline scenario;
+        one silently vanishing fails loudly instead of slipping past
+        the gate unmeasured."""
+        import json
+
+        from repro.bench import PROFILES
+
+        baseline_scenarios = {
+            name: {"ops_per_sec": 1.0, "events": 1, "metrics": {}}
+            for name in PROFILES["smoke"]
+        }
+        baseline_scenarios["phantom_scenario"] = {
+            "ops_per_sec": 1.0,
+            "events": 1,
+            "metrics": {},
+        }
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": 2,
+                    "bench_id": "BENCH_5",
+                    "profile": "smoke",
+                    "seed": 0,
+                    "scenarios": baseline_scenarios,
+                }
+            )
+        )
+        code = main(["bench", "--profile", "smoke", "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "phantom_scenario" in captured.err
+        assert "missing" in captured.err
+
+    def test_bench_scenario_filter_exempt_from_missing_check(
+        self, capsys, tmp_path
+    ):
+        """Explicit --scenario selection asked for a subset; baseline
+        scenarios it skips are reported but not fatal."""
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": 2,
+                    "bench_id": "BENCH_5",
+                    "profile": "smoke",
+                    "seed": 0,
+                    "scenarios": {
+                        "batch_counts": {
+                            "ops_per_sec": 1.0,
+                            "events": 1,
+                            "metrics": {},
+                        },
+                        "token_routing": {
+                            "ops_per_sec": 1.0,
+                            "events": 1,
+                            "metrics": {},
+                        },
+                    },
+                }
+            )
+        )
+        code = main(
+            [
+                "bench",
+                "--profile",
+                "smoke",
+                "--scenario",
+                "batch_counts",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MISSING" in out
+
+    def test_bench_trace_and_metrics_export(self, capsys, tmp_path):
+        """--trace/--metrics-out record the run and export a valid
+        Chrome trace and metrics JSONL."""
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "bench",
+                "--profile",
+                "smoke",
+                "--scenario",
+                "inject_to_retire",
+                "--trace",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "token" in names  # async begin/end spans
+        assert "process_name" in names  # scenario section metadata
+        rows = [
+            json.loads(line) for line in metrics_path.read_text().splitlines()
+        ]
+        by_name = {row["name"] for row in rows}
+        assert "tokens.latency" in by_name
+        assert "sim.events_executed" in by_name
+
+
+class TestTraceCli:
+    def test_trace_exports_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "trace",
+                "--width",
+                "16",
+                "--nodes",
+                "8",
+                "--tokens",
+                "60",
+                "--churn-every",
+                "20",
+                "--out",
+                str(out_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "latency p50" in printed
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert metrics_path.exists()
+
+    def test_trace_same_seed_byte_identical(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        args = ["trace", "--width", "16", "--nodes", "8", "--tokens", "60"]
+        assert main(args + ["--out", str(first)]) == 0
+        assert main(args + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_trace_sampling_shrinks_trace(self, tmp_path):
+        dense = tmp_path / "dense.json"
+        sparse = tmp_path / "sparse.json"
+        args = ["trace", "--width", "16", "--nodes", "8", "--tokens", "80"]
+        assert main(args + ["--out", str(dense)]) == 0
+        assert main(args + ["--sample-every", "8", "--out", str(sparse)]) == 0
+        import json
+
+        dense_events = json.loads(dense.read_text())["traceEvents"]
+        sparse_events = json.loads(sparse.read_text())["traceEvents"]
+        assert len(sparse_events) < len(dense_events)
+        # Sampled-out tokens still count in the metrics-backed counters:
+        # every injection emits a tokens_in_flight counter sample.
+        counter_samples = [
+            e for e in sparse_events if e["name"] == "tokens_in_flight"
+        ]
+        assert len(counter_samples) >= 160  # one per inject + per retire
+
+    def test_trace_rejects_bad_sample_every(self, capsys):
+        assert main(["trace", "--sample-every", "0"]) == 2
+        assert "sample_every" in capsys.readouterr().err
