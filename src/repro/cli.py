@@ -15,8 +15,11 @@ Commands
     Static invariant analysis (``repro.staticcheck``): certify network
     structure and the step property for small widths, validate cuts,
     lint the codebase (``--lint``), verify protocol message flow
-    (``--protocol``), or bounded-model-check the Chord/runtime
-    protocols over all small-scope schedules (``--model-check``).
+    (``--protocol``), bounded-model-check the Chord/runtime protocols
+    over all small-scope schedules (``--model-check``), run the Pass-6
+    shared-state/atomicity rules (``--concurrency``) and the
+    schedule-perturbation sanitizer (``--sanitize[=N]``), or print the
+    long-form explanation of any diagnostic code (``--explain``).
 ``bench``
     Seeded performance scenarios (``repro.bench``): token routing
     (table fast path vs linear scan), batch counts, inject-to-retire
@@ -162,6 +165,32 @@ def cmd_check(args) -> int:
     from repro.core.wiring import MergerConvention
     from repro.staticcheck.runner import run_check
 
+    if args.explain is not None:
+        from repro.staticcheck.explain import explain
+
+        rendered = explain(args.explain)
+        if rendered is None:
+            print(
+                "repro check: error: unknown diagnostic code %r (see "
+                "repro.staticcheck.diagnostics.KNOWN_CODES)" % args.explain,
+                file=sys.stderr,
+            )
+            return 2
+        print(rendered)
+        return 0
+
+    sanitize_seeds = None
+    if args.sanitize_seeds is not None:
+        sanitize_seeds = args.sanitize_seeds
+    elif args.sanitize is not None:
+        if args.sanitize < 1:
+            print(
+                "repro check: error: --sanitize needs at least 1 seed",
+                file=sys.stderr,
+            )
+            return 2
+        sanitize_seeds = list(range(1, args.sanitize + 1))
+
     convention = (
         MergerConvention.PAPER_PROSE
         if args.convention == "paper-prose"
@@ -199,6 +228,13 @@ def cmd_check(args) -> int:
             protocol_paths=args.protocol_paths,
             model_check=args.model_check,
             model_config=model_config,
+            concurrency=args.concurrency,
+            concurrency_paths=args.concurrency_paths,
+            concurrency_baseline=args.concurrency_baseline,
+            update_concurrency_baseline=args.update_concurrency_baseline,
+            sanitize_seeds=sanitize_seeds,
+            sanitize_profile=args.sanitize_profile,
+            sanitize_jitter=args.sanitize_jitter,
         )
     except StructureError as exc:
         print("repro check: error: %s" % exc, file=sys.stderr)
@@ -435,6 +471,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="module (dotted name or .py path) providing network_factory/"
         "system_factory for the model checker's subject",
+    )
+    check.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the Pass-6 static shared-state/atomicity rules (RSC60x)",
+    )
+    check.add_argument(
+        "--concurrency-paths",
+        nargs="+",
+        metavar="PATH",
+        default=None,
+        help="files/directories to analyze instead of the default runtime packages",
+    )
+    check.add_argument(
+        "--concurrency-baseline",
+        metavar="PATH",
+        default=None,
+        help="triage baseline file (default: CONCURRENCY_BASELINE.txt in "
+        "the working directory, when present)",
+    )
+    check.add_argument(
+        "--update-concurrency-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings, then apply it",
+    )
+    check.add_argument(
+        "--sanitize",
+        nargs="?",
+        const=1,
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the schedule-perturbation sanitizer over the bench "
+        "scenarios with N perturbation seeds (default 1)",
+    )
+    check.add_argument(
+        "--sanitize-seeds",
+        nargs="+",
+        type=int,
+        metavar="SEED",
+        default=None,
+        help="explicit perturbation seeds (overrides --sanitize's count)",
+    )
+    check.add_argument(
+        "--sanitize-profile",
+        choices=["smoke", "small", "large"],
+        default="smoke",
+        help="bench profile the sanitizer re-executes (default smoke)",
+    )
+    check.add_argument(
+        "--sanitize-jitter",
+        type=float,
+        default=0.0,
+        metavar="J",
+        help="also stretch message transit by up to J seeded sim-time "
+        "units (default 0.0: pure same-timestamp reordering)",
+    )
+    check.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print description, rationale, and a minimal example for a "
+        "diagnostic code (e.g. RSC601), then exit",
     )
     check.add_argument("--json", action="store_true", help="machine-readable output")
     check.set_defaults(func=cmd_check)

@@ -42,6 +42,7 @@ from repro.obs.recorder import (
     NULL_RECORDER,
     NullRecorder,
     Recorder,
+    TokenLike,
     install,
     recording,
     uninstall,
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "TokenLike",
     "NULL_RECORDER",
     "install",
     "uninstall",

@@ -27,7 +27,7 @@ keeps exported snapshots byte-identical across same-seed runs.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -188,7 +188,13 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, str, LabelTuple], object] = {}
 
-    def _get(self, kind: str, name: str, labels: LabelTuple, factory):
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        labels: LabelTuple,
+        factory: Callable[[], object],
+    ) -> object:
         key = (kind, name, labels)
         metric = self._metrics.get(key)
         if metric is None:

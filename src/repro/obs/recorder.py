@@ -36,7 +36,7 @@ never reads a clock of its own.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Protocol, Tuple
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import TraceBuffer, TraceEvent
@@ -44,6 +44,7 @@ from repro.obs.trace import TraceBuffer, TraceEvent
 __all__ = [
     "NullRecorder",
     "Recorder",
+    "TokenLike",
     "ACTIVE",
     "NULL_RECORDER",
     "install",
@@ -52,6 +53,43 @@ __all__ = [
 ]
 
 Path = Tuple[int, ...]
+
+
+class TokenLike(Protocol):
+    """The token attributes the recorder reads.
+
+    Structural on purpose: the hook signatures stay typed without this
+    package importing the runtime layer (obs must sit below everything
+    it instruments). Read-only properties, so any class carrying these
+    attributes — ``repro.runtime.tokens.Token`` in practice — matches.
+    """
+
+    @property
+    def token_id(self) -> int: ...
+
+    @property
+    def issued_at(self) -> float: ...
+
+    @property
+    def retired_at(self) -> Optional[float]: ...
+
+    @property
+    def latency(self) -> Optional[float]: ...
+
+    @property
+    def entry_wire(self) -> object: ...
+
+    @property
+    def exit_wire(self) -> object: ...
+
+    @property
+    def value(self) -> object: ...
+
+    @property
+    def hops(self) -> object: ...
+
+    @property
+    def reroutes(self) -> object: ...
 
 
 class NullRecorder:
@@ -86,23 +124,23 @@ class NullRecorder:
         """A message was dropped (destination gone or re-registered)."""
 
     # -- token lifecycle ------------------------------------------------
-    def token_injected(self, token) -> None:
+    def token_injected(self, token: TokenLike) -> None:
         """A client injected ``token`` (ts = ``token.issued_at``)."""
 
     def token_hop(
-        self, ts: float, token, path: Path, port: int, batch_size: int
+        self, ts: float, token: TokenLike, path: Path, port: int, batch_size: int
     ) -> None:
         """``token`` was dispatched toward input ``port`` of the
         component at ``path`` in a batch of ``batch_size``."""
 
-    def token_rerouted(self, ts: float, token) -> None:
+    def token_rerouted(self, ts: float, token: TokenLike) -> None:
         """``token`` hit a missing/moved component and was re-resolved
         or queued for retry."""
 
-    def token_retired(self, token) -> None:
+    def token_retired(self, token: TokenLike) -> None:
         """``token`` left the network (ts = ``token.retired_at``)."""
 
-    def token_dropped(self, ts: float, token) -> None:
+    def token_dropped(self, ts: float, token: TokenLike) -> None:
         """``token`` exhausted its reroute budget and gave up."""
 
     def owed_delta(self, delta: int) -> None:
@@ -134,7 +172,7 @@ class Recorder(NullRecorder):
         trace: bool = False,
         trace_capacity: int = 65536,
         sample_every: int = 1,
-    ):
+    ) -> None:
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -199,7 +237,7 @@ class Recorder(NullRecorder):
         self.metrics.counter("bus.dropped", (kind,)).inc()
 
     # -- token lifecycle ------------------------------------------------
-    def token_injected(self, token) -> None:
+    def token_injected(self, token: TokenLike) -> None:
         self._c_injected.inc()
         self._inflight += 1
         trace = self.trace
@@ -230,7 +268,7 @@ class Recorder(NullRecorder):
                 )
 
     def token_hop(
-        self, ts: float, token, path: Path, port: int, batch_size: int
+        self, ts: float, token: TokenLike, path: Path, port: int, batch_size: int
     ) -> None:
         self._c_hops.inc()
         self._h_batch.record(batch_size)
@@ -253,7 +291,7 @@ class Recorder(NullRecorder):
                 )
             )
 
-    def token_rerouted(self, ts: float, token) -> None:
+    def token_rerouted(self, ts: float, token: TokenLike) -> None:
         self._c_reroutes.inc()
         trace = self.trace
         if trace is not None and self._sampled(token.token_id):
@@ -269,7 +307,7 @@ class Recorder(NullRecorder):
                 )
             )
 
-    def token_retired(self, token) -> None:
+    def token_retired(self, token: TokenLike) -> None:
         self._c_retired.inc()
         self._inflight -= 1
         latency = token.latency
@@ -277,7 +315,8 @@ class Recorder(NullRecorder):
             self._h_latency.record(latency)
         trace = self.trace
         if trace is not None:
-            ts = token.retired_at
+            retired_at = token.retired_at
+            ts = retired_at if retired_at is not None else 0.0
             pid = self._pid
             trace.add(
                 TraceEvent(
@@ -307,7 +346,7 @@ class Recorder(NullRecorder):
                     )
                 )
 
-    def token_dropped(self, ts: float, token) -> None:
+    def token_dropped(self, ts: float, token: TokenLike) -> None:
         self._c_dropped.inc()
         self._inflight -= 1
         trace = self.trace

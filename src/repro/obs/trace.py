@@ -59,7 +59,7 @@ class TraceEvent:
         dur: Optional[float] = None,
         id: Optional[int] = None,
         args: Optional[Dict[str, object]] = None,
-    ):
+    ) -> None:
         self.name = name
         self.cat = cat
         self.ph = ph
@@ -93,7 +93,7 @@ class TraceEvent:
             raise ValueError("async event %r needs an id" % self.name)
         return event
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "TraceEvent(%r, ph=%r, ts=%r)" % (self.name, self.ph, self.ts)
 
 
@@ -106,7 +106,7 @@ class TraceBuffer:
     labels survive even when the ring wraps.
     """
 
-    def __init__(self, capacity: int = 65536):
+    def __init__(self, capacity: int = 65536) -> None:
         if capacity < 1:
             raise ValueError("trace buffer capacity must be >= 1")
         self.capacity = capacity

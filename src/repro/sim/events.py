@@ -23,17 +23,117 @@ bus's same-timestamp inline fast path also charges
 (:meth:`claim_inline_slot`): every executed event — popped or inline —
 consumes exactly one slot, and the bound raises before the event that
 would exceed it.
+
+Schedule tie-break policies
+---------------------------
+Same-timestamp events are FIFO-ordered by default (the monotonic
+sequence number). That order is *one legal schedule* among many: any
+interleaving of same-timestamp events is permitted by the model, and
+code that is only correct under the FIFO accident is code that will
+break the moment real threads (or a real network) reorder it. A
+:class:`SchedulePolicy` makes the tie-break pluggable:
+:class:`FifoPolicy` reproduces the historical order bit-for-bit, and
+:class:`PerturbedPolicy` re-keys same-timestamp ties with a seeded RNG
+and can add bounded delivery-delay jitter on the message plane — the
+schedule-perturbation sanitizer (``repro check --sanitize``) runs the
+bench scenarios under it and asserts the invariant set still holds.
+Policies are installed per-simulator at construction, snapshotting the
+module-level :data:`POLICY_FACTORY` swap point (see
+:func:`schedule_policy`); with no policy installed the scheduling hot
+path is exactly the pre-sanitizer code.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from math import isfinite
-from typing import Callable, List, Optional, Tuple
+from random import Random
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import recorder as _obs
+
+
+class SchedulePolicy:
+    """How same-timestamp events are ordered (and messages delayed).
+
+    ``key(seq)`` maps the monotonic scheduling sequence number to the
+    integer tie-break key stored in the heap entry: heap order is
+    ``(time, key)`` and keys are unique, so any injective mapping
+    yields a deterministic total order. ``delivery_jitter()`` is extra
+    network delay the message bus adds per send (0.0 for exact
+    latency-model behaviour).
+    """
+
+    def key(self, seq: int) -> int:
+        return seq
+
+    def delivery_jitter(self) -> float:
+        return 0.0
+
+
+class FifoPolicy(SchedulePolicy):
+    """The default order, made explicit: ties break by scheduling
+    order, no jitter. Installing this policy is byte-identical to
+    installing none — the regression tests pin that equivalence."""
+
+
+class PerturbedPolicy(SchedulePolicy):
+    """Adversarial-but-legal schedules from a seeded RNG.
+
+    Same-timestamp events are reordered by a random 32-bit major key
+    (the sequence number survives in the low bits, keeping keys unique
+    and runs reproducible per seed); ``max_jitter`` > 0 additionally
+    stretches each message's network transit by a uniform random delay
+    in ``[0, max_jitter)``. Every schedule this policy produces is one
+    the event model already allows — a run that breaks under it was
+    deterministic by accident, not correct.
+    """
+
+    def __init__(self, rng: Random, max_jitter: float = 0.0):
+        if max_jitter < 0 or not isfinite(max_jitter):
+            raise ValueError("max_jitter must be finite and >= 0")
+        self.rng = rng
+        self.max_jitter = max_jitter
+
+    def key(self, seq: int) -> int:
+        # Random major bits shuffle same-timestamp groups; the sequence
+        # number in the low bits keeps keys unique (and comparisons
+        # never reach the EventHandle).
+        return (self.rng.getrandbits(32) << 48) | seq
+
+    def delivery_jitter(self) -> float:
+        if not self.max_jitter:
+            return 0.0
+        return self.rng.random() * self.max_jitter
+
+
+#: The installed policy factory, consulted once per Simulator
+#: construction (each simulator gets a fresh policy so seeded RNG state
+#: is never shared across runs). ``None`` — the default — means FIFO
+#: through the zero-overhead fast path.
+POLICY_FACTORY: Optional[Callable[[], SchedulePolicy]] = None
+
+
+@contextmanager
+def schedule_policy(
+    factory: Optional[Callable[[], SchedulePolicy]],
+) -> Iterator[None]:
+    """Install a policy factory for simulators built inside the block.
+
+    This is the sanitizer's designated swap point, mirroring
+    ``repro.obs.recorder.recording``: the module attribute changes only
+    here, between runs, never while a simulator is executing.
+    """
+    global POLICY_FACTORY  # repro: thread-safe: designated swap point; mutated only between runs, and simulators snapshot the factory at construction
+    previous = POLICY_FACTORY
+    POLICY_FACTORY = factory
+    try:
+        yield
+    finally:
+        POLICY_FACTORY = previous
 
 
 class EventHandle:
@@ -69,7 +169,7 @@ class Simulator:
     else — makes entire experiment runs reproducible.
     """
 
-    def __init__(self):
+    def __init__(self, policy: Optional[SchedulePolicy] = None):
         self._queue: List[_Entry] = []
         self._sequence = itertools.count()
         #: Cancelled entries still sitting in the heap (lazy deletion).
@@ -78,6 +178,12 @@ class Simulator:
         #: or None when unbounded; shared with the bus's inline path so
         #: the bound stays exact (see :meth:`claim_inline_slot`).
         self._budget: Optional[int] = None
+        #: Tie-break policy, fixed for the simulator's lifetime. None —
+        #: the common case — keeps scheduling on the raw-sequence fast
+        #: path, byte-identical to the pre-policy engine.
+        if policy is None and POLICY_FACTORY is not None:
+            policy = POLICY_FACTORY()
+        self.policy = policy
         self.now = 0.0
         self.events_run = 0
 
@@ -88,7 +194,11 @@ class Simulator:
                 "cannot schedule a negative or non-finite delay (delay=%r)" % delay
             )
         handle = EventHandle(callback)
-        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), handle))
+        key = next(self._sequence)
+        policy = self.policy
+        if policy is not None:
+            key = policy.key(key)
+        heapq.heappush(self._queue, (self.now + delay, key, handle))
         return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
@@ -100,7 +210,11 @@ class Simulator:
                 "cannot schedule at %r, current time is %r" % (time, self.now)
             )
         handle = EventHandle(callback)
-        heapq.heappush(self._queue, (time, next(self._sequence), handle))
+        key = next(self._sequence)
+        policy = self.policy
+        if policy is not None:
+            key = policy.key(key)
+        heapq.heappush(self._queue, (time, key, handle))
         return handle
 
     def cancel(self, handle: EventHandle) -> bool:

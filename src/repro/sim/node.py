@@ -201,7 +201,13 @@ class MessageBus:
         # be picked up by whoever registers first (existing semantics).
         sent_epoch = self._epochs.get(to_address) if to_address in self._processes else None
         envelope = Envelope(self, to_address, message, kind, on_undeliverable, sent_epoch)
-        self.simulator.schedule(self.latency.sample(), envelope.arrive)
+        transit = self.latency.sample()
+        # Schedule-perturbation sanitizer hook: an installed policy may
+        # stretch network transit by bounded jitter (0.0 by default).
+        policy = self.simulator.policy
+        if policy is not None:
+            transit += policy.delivery_jitter()
+        self.simulator.schedule(transit, envelope.arrive)
 
     def _finish(self, kind: str) -> None:
         self._in_flight_by_kind[kind] -= 1

@@ -1,0 +1,410 @@
+"""Shared-state access maps: who touches which attribute, from where.
+
+The concurrency pass (``rules``) needs one structured view of a module:
+for every class, which ``self.`` attributes each method reads, writes
+and read-modify-writes; which methods run in *handler context* (message
+delivery) — directly or transitively through ``self.method()`` calls;
+which attributes were initialised to fresh mutable containers; and
+which closures are registered as asynchronous continuations. This
+module builds that view with :mod:`ast` only — analyzed code is never
+imported, so a broken module can still be mapped.
+
+Handler context matters because it is exactly the code that will run on
+*worker* threads in the planned shared-memory backend: a method only
+ever called from ``__init__`` keeps single-threaded discipline, while a
+method reachable from ``handle_message`` will race. The reachability
+computation is a fixpoint over the intra-class ``self.x()`` call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_ClosureNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+#: Method names that *are* handler context by definition (the bus calls
+#: them during message delivery), matching the Pass-3 scoping rules.
+HANDLER_NAME_PREFIXES: Tuple[str, ...] = ("_handle", "rpc_")
+HANDLER_NAMES: Tuple[str, ...] = ("handle_message", "arrive", "deliver")
+
+#: Keyword arguments that register a closure as a continuation.
+CALLBACK_KWARGS: Tuple[str, ...] = (
+    "on_reply",
+    "on_timeout",
+    "on_undeliverable",
+    "on_found",
+)
+
+#: Callees whose positional closure arguments run later, in event /
+#: message-delivery context.
+DEFERRING_CALLEES: Tuple[str, ...] = ("schedule", "schedule_at", "call", "on_retire")
+
+#: Container methods that mutate their receiver.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Calls whose result is a fresh mutable container.
+_MUTABLE_BUILTINS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+)
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def is_mutable_initialiser(value: ast.expr) -> bool:
+    """Whether ``value`` evaluates to a fresh mutable container."""
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Mult):
+        # ``[0] * width`` — the repo's per-wire counter idiom.
+        return is_mutable_initialiser(value.left) or is_mutable_initialiser(value.right)
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in _MUTABLE_BUILTINS
+    return False
+
+
+def self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _base_self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` for ``self.X``, ``self.X[...]`` or chains rooted there."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return self_attr(node)
+
+
+@dataclass
+class RegisteredClosure:
+    """A closure that will run later, in event/message context."""
+
+    node: _ClosureNode
+    line: int
+    #: How it was registered: ``_pending``, an ``on_*`` keyword, or the
+    #: deferring callee name (``schedule``/``call``/...).
+    via: str
+
+
+@dataclass
+class MethodAccess:
+    """One method's shared-state footprint."""
+
+    name: str
+    node: _ClosureNode
+    reads: Dict[str, List[int]] = field(default_factory=dict)
+    writes: Dict[str, List[int]] = field(default_factory=dict)
+    #: Read-modify-write sites: augmented assigns (``self.x += 1``,
+    #: ``self.x[k] += 1``), self-referencing rebinding
+    #: (``self.x = self.x + 1``) and mutator calls (``self.x.append``).
+    compound: Dict[str, List[int]] = field(default_factory=dict)
+    #: ``self.method()`` call targets (intra-class call graph edges).
+    calls_self: Set[str] = field(default_factory=set)
+    closures: List[RegisteredClosure] = field(default_factory=list)
+    handler: bool = False
+
+
+@dataclass
+class ClassAccessMap:
+    """Per-class attribute access map."""
+
+    name: str
+    node: ast.ClassDef
+    file: str
+    line: int
+    methods: Dict[str, MethodAccess] = field(default_factory=dict)
+    #: Attributes assigned in the init path, and whether the assigned
+    #: value is a fresh mutable container.
+    init_attrs: Dict[str, bool] = field(default_factory=dict)
+    #: Attribute names containing an epoch/version fragment — the
+    #: class has an ABA/staleness guard convention RSC605 can check.
+    epoch_attrs: Set[str] = field(default_factory=set)
+
+    def shared_attrs(self) -> Set[str]:
+        """Attributes touched by two or more distinct methods."""
+        touched: Dict[str, Set[str]] = {}
+        for method in self.methods.values():
+            for attr in set(method.reads) | set(method.writes) | set(method.compound):
+                touched.setdefault(attr, set()).add(method.name)
+        return {attr for attr, users in touched.items() if len(users) >= 2}
+
+    def handler_reachable(self) -> Set[str]:
+        """Methods reachable from handler context via ``self.x()`` calls."""
+        reachable = {m.name for m in self.methods.values() if m.handler}
+        changed = True
+        while changed:
+            changed = False
+            for method in self.methods.values():
+                if method.name in reachable:
+                    for callee in method.calls_self:
+                        if callee in self.methods and callee not in reachable:
+                            reachable.add(callee)
+                            changed = True
+        return reachable
+
+
+#: Init-path method names: writes here establish state, they do not race
+#: (the object is not yet published when they run).
+def is_init_method(name: str) -> bool:
+    return name == "__init__" or name.startswith("_init") or name == "__post_init__"
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Collects one method's accesses; nested closures get their own
+    sub-visit (their accesses are *not* merged into the method's — the
+    rules reason about closure bodies separately)."""
+
+    def __init__(self, access: MethodAccess, root: _ClosureNode):
+        self.access = access
+        self.root = root
+
+    def _record(self, table: Dict[str, List[int]], attr: str, line: int) -> None:
+        table.setdefault(attr, []).append(line)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.root:
+            return  # nested def: separate scope
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if node is not self.root:
+            return
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if node is not self.root:
+            return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self_attr(node)
+        if attr is not None:
+            if isinstance(node.ctx, ast.Store):
+                self._record(self.access.writes, attr, node.lineno)
+            elif isinstance(node.ctx, ast.Del):
+                self._record(self.access.compound, attr, node.lineno)
+            else:
+                self._record(self.access.reads, attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _base_self_attr(node.target)
+        if attr is not None:
+            self._record(self.access.compound, attr, node.lineno)
+            self._record(self.access.writes, attr, node.lineno)
+        self.generic_visit(node.value)
+        if isinstance(node.target, ast.Subscript):
+            self.generic_visit(node.target.slice)
+            # The read of the container itself:
+            self.generic_visit(node.target.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # ``self.x = <expr reading self.x>`` is a read-modify-write
+        # spelled longhand; ``self.x[k] = v`` mutates the container.
+        value_reads = {
+            self_attr(sub)
+            for sub in ast.walk(node.value)
+            if self_attr(sub) is not None
+        }
+        for target in node.targets:
+            attr = self_attr(target)
+            if attr is not None and attr in value_reads:
+                self._record(self.access.compound, attr, node.lineno)
+            sub_attr = None
+            if isinstance(target, ast.Subscript):
+                sub_attr = _base_self_attr(target)
+            if sub_attr is not None:
+                self._record(self.access.compound, sub_attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.method(...) — intra-class call-graph edge.
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                self.access.calls_self.add(func.attr)
+            # self.x.append(...) — container mutation through the attr.
+            if func.attr in MUTATORS:
+                attr = _base_self_attr(func.value)
+                if attr is not None:
+                    self._record(self.access.compound, attr, node.lineno)
+                    self._record(self.access.writes, attr, node.lineno)
+        self.generic_visit(node)
+
+
+def _collect_closures(method: MethodAccess) -> None:
+    """Find closures registered as continuations inside ``method``."""
+    root = method.node
+    nested: Dict[str, _ClosureNode] = {
+        fn.name: fn
+        for fn in ast.walk(root)
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)) and fn is not root
+    }
+
+    def resolve(value: ast.expr) -> Optional[_ClosureNode]:
+        if isinstance(value, ast.Lambda):
+            return value
+        if isinstance(value, ast.Name):
+            return nested.get(value.id)
+        return None
+
+    for node in ast.walk(root):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "_pending"
+                ):
+                    closure = resolve(node.value)
+                    if closure is not None:
+                        method.closures.append(
+                            RegisteredClosure(closure, node.lineno, "_pending")
+                        )
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            callee_name = None
+            if isinstance(callee, ast.Name):
+                callee_name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                callee_name = callee.attr
+            for keyword in node.keywords:
+                if keyword.arg in CALLBACK_KWARGS:
+                    closure = resolve(keyword.value)
+                    if closure is not None:
+                        method.closures.append(
+                            RegisteredClosure(closure, node.lineno, keyword.arg)
+                        )
+            if callee_name in DEFERRING_CALLEES:
+                for arg in node.args:
+                    closure = resolve(arg)
+                    if closure is not None:
+                        method.closures.append(
+                            RegisteredClosure(closure, node.lineno, callee_name)
+                        )
+
+
+def closure_access(closure: _ClosureNode) -> MethodAccess:
+    """The shared-state footprint of one registered closure body."""
+    name = getattr(closure, "name", "<lambda>")
+    access = MethodAccess(name=name, node=closure)
+    _MethodVisitor(access, closure).visit(closure)
+    return access
+
+
+_EPOCH_FRAGMENTS = ("epoch", "version", "incarnation", "generation")
+
+
+def _is_epoch_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _EPOCH_FRAGMENTS)
+
+
+def build_class_map(node: ast.ClassDef, filename: str) -> ClassAccessMap:
+    """Build the access map of one class definition."""
+    class_map = ClassAccessMap(node.name, node, filename, node.lineno)
+    defines_handler = any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "handle_message"
+        for item in node.body
+    )
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        access = MethodAccess(name=item.name, node=item)
+        _MethodVisitor(access, item).visit(item)
+        _collect_closures(access)
+        access.handler = item.name in HANDLER_NAMES or (
+            defines_handler
+            and any(item.name.startswith(p) for p in HANDLER_NAME_PREFIXES)
+        ) or item.name.startswith("rpc_")
+        class_map.methods[item.name] = access
+        if is_init_method(item.name):
+            for sub in ast.walk(item):
+                if isinstance(sub, ast.Assign):
+                    mutable = is_mutable_initialiser(sub.value)
+                    for target in sub.targets:
+                        attr = self_attr(target)
+                        if attr is not None:
+                            class_map.init_attrs[attr] = mutable or (
+                                class_map.init_attrs.get(attr, False)
+                            )
+                elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                    attr = self_attr(sub.target)
+                    if attr is not None:
+                        class_map.init_attrs[attr] = is_mutable_initialiser(sub.value)
+        for attr_table in (access.reads, access.writes):
+            for attr in attr_table:
+                if _is_epoch_name(attr):
+                    class_map.epoch_attrs.add(attr)
+    for attr in class_map.init_attrs:
+        if _is_epoch_name(attr):
+            class_map.epoch_attrs.add(attr)
+    return class_map
+
+
+@dataclass
+class ModuleMap:
+    """Everything the rules need to know about one module."""
+
+    filename: str
+    module: str
+    tree: ast.Module
+    classes: List[ClassAccessMap]
+    #: Module-level names bound to mutable containers, with bind line.
+    module_mutables: Dict[str, int]
+    #: Module-level names (any value) assigned at module scope.
+    module_names: Set[str]
+
+
+def build_module_map(tree: ast.Module, filename: str, module: str) -> ModuleMap:
+    classes = [
+        build_class_map(node, filename)
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    ]
+    module_mutables: Dict[str, int] = {}
+    module_names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name):
+                module_names.add(target.id)
+                if value is not None and is_mutable_initialiser(value):
+                    module_mutables[target.id] = stmt.lineno
+    return ModuleMap(filename, module, tree, classes, module_mutables, module_names)

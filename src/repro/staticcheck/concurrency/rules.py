@@ -1,0 +1,663 @@
+"""Pass 6 — shared-state and atomicity analysis (codes ``RSC6xx``).
+
+Everything in ``repro.core`` / ``repro.sim`` / ``repro.runtime`` /
+``repro.chord`` currently assumes single-threaded event-loop atomicity:
+a handler runs to completion before the next one starts, so a
+check-then-act, a ``+= 1``, or a module-global swap is safe *by
+accident of the execution model*. The planned shared-memory backend
+(ROADMAP: OS threads through real balancers) removes that accident.
+This pass finds the code that depends on it:
+
+``RSC601`` — stale read across a continuation boundary.
+    A method reads ``self.X`` in a branch test, then registers a
+    continuation (a ``_pending`` reply handler, an ``on_*`` callback, a
+    scheduled closure) that acts on ``self.X`` without re-reading it in
+    a test of its own. Between registration and execution, arbitrary
+    events run; the captured decision is stale — the async flavour of
+    check-then-act.
+
+``RSC602`` — compound read-modify-write on shared counter state.
+    ``self.count += 1``, ``self.stats.update(...)``,
+    ``self.x = self.x + ...``, ``del self.pending[k]`` on
+    counter/ledger-flavoured attributes outside the init path. Each is
+    a load-modify-store that interleaves under threads; under the event
+    loop it only *looks* atomic.
+
+``RSC603`` — module-level mutable state mutated outside a designated
+    swap point. ``global NAME`` rebinding, mutation of a module-level
+    container, or ``module.CONST = ...`` from function scope. Swap
+    points in the style of ``repro.obs.recorder.ACTIVE`` carry a
+    ``# repro: thread-safe: <why>`` annotation on the mutation line.
+
+``RSC604`` — escaping mutable alias.
+    A mutable container created in ``__init__`` (``self.x = {}``) is
+    handed to another object (constructor argument, method argument on
+    a non-self receiver, or ``other.attr = self.x``). Two objects now
+    share one unlocked structure; on an annotated thread-safe class
+    this is reported as a contract violation, never suppressed.
+
+``RSC605`` — epoch/ABA-guard coverage gap.
+    In a class that maintains an epoch/version/incarnation attribute, a
+    registered continuation touches instance state without comparing
+    any epoch-flavoured value — generalizing the ``Envelope.sent_epoch``
+    guard: the continuation may run against a different incarnation of
+    the state it captured.
+
+``RSC600`` marks analysis limitations and contract hygiene: unreadable
+files (error), bare ``# repro: thread-safe`` markers with no
+justification, and stale baseline entries (warnings).
+
+Each finding's ``component`` field carries its stable *finding key*
+(``CODE module:Class.method:attr``) — the currency of the baseline
+suppression file (see :mod:`.contract`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.concurrency.accessmap import (
+    ClassAccessMap,
+    MethodAccess,
+    ModuleMap,
+    build_module_map,
+    closure_access,
+    is_init_method,
+    self_attr,
+)
+from repro.staticcheck.concurrency.contract import (
+    ThreadSafeAnnotations,
+    apply_baseline,
+    finding_key,
+    report_stale_keys,
+)
+from repro.staticcheck.diagnostics import Report, Severity
+
+#: Packages the pass analyzes by default — the thread-readiness surface
+#: of the future shared-memory backend.
+DEFAULT_CONCURRENCY_PACKAGES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.sim",
+    "repro.runtime",
+    "repro.chord",
+)
+
+#: Attribute-name fragments that mark counter/ledger/balancer state —
+#: the state the paper's data structures are *made of*, and exactly
+#: what must become atomic (or sharded) under threads.
+SHARED_STATE_FRAGMENTS: Tuple[str, ...] = (
+    "count",
+    "total",
+    "stat",
+    "pending",
+    "owed",
+    "inflight",
+    "in_flight",
+    "issued",
+    "retired",
+    "dropped",
+    "toggle",
+    "busy",
+    "messages",
+    "tokens",
+    "balancer",
+    "splits",
+    "merges",
+    "hops",
+    "reroutes",
+    "seq",
+    "epoch",
+    "cancelled",
+    "events_run",
+)
+
+#: Callees through which a mutable argument does *not* escape (pure
+#: readers/copiers).
+_SAFE_CALLEES = frozenset(
+    {
+        "len",
+        "list",
+        "dict",
+        "set",
+        "tuple",
+        "frozenset",
+        "sorted",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "enumerate",
+        "iter",
+        "next",
+        "zip",
+        "map",
+        "filter",
+        "repr",
+        "str",
+        "print",
+        "copy",
+        "deepcopy",
+        "id",
+        "isinstance",
+        "bool",
+        "reversed",
+        "join",
+        "get",
+        "index",
+        "extend",
+        "update",
+        "format",
+        "fromkeys",
+        "heappush",
+        "heappop",
+        "heapify",
+        "insort",
+        "insort_left",
+        "insort_right",
+        "bisect_left",
+        "bisect_right",
+    }
+)
+
+#: Receiver names that are stdlib modules/builtins, not objects that
+#: could retain an alias (``bisect.insort(self._ids, x)`` mutates in
+#: place but keeps no reference).
+_SAFE_RECEIVERS = frozenset(
+    {"dict", "list", "set", "tuple", "str", "heapq", "bisect", "math", "json", "os"}
+)
+
+_EPOCH_FRAGMENTS = ("epoch", "version", "incarnation", "generation")
+
+
+def is_shared_state_name(attr: str) -> bool:
+    lowered = attr.lower()
+    return any(fragment in lowered for fragment in SHARED_STATE_FRAGMENTS)
+
+
+def _mentions_epoch(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None:
+            lowered = name.lower()
+            if any(fragment in lowered for fragment in _EPOCH_FRAGMENTS):
+                return True
+    return False
+
+
+def default_concurrency_paths() -> List[str]:
+    """Directory paths of the default packages in this install."""
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    return [
+        os.path.join(root, *package.split(".")[1:])
+        for package in DEFAULT_CONCURRENCY_PACKAGES
+    ]
+
+
+def _module_name(filename: str) -> str:
+    parts = os.path.normpath(filename).split(os.sep)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    stem = [p for p in parts if p]
+    if stem and stem[-1].endswith(".py"):
+        stem[-1] = stem[-1][:-3]
+    return ".".join(stem)
+
+
+def _iter_python_files(paths: Iterable[str], report: Report) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        if not os.path.isdir(path):
+            report.add("RSC600", "no such file or directory", path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in ("__pycache__", "fixtures") and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+# ----------------------------------------------------------------------
+# per-rule checkers
+# ----------------------------------------------------------------------
+def _branch_test_reads(method: MethodAccess, before_line: int) -> Dict[str, int]:
+    """``self`` attributes read inside if/while tests lexically before
+    ``before_line`` (the check half of a check-then-act)."""
+    reads: Dict[str, int] = {}
+    for node in ast.walk(method.node):
+        if isinstance(node, (ast.If, ast.While)) and node.lineno <= before_line:
+            for sub in ast.walk(node.test):
+                attr = self_attr(sub)
+                if attr is not None and attr not in reads:
+                    reads[attr] = node.lineno
+    return reads
+
+
+def _closure_revalidates(closure_node: ast.AST, attr: str) -> bool:
+    """Whether the closure re-reads ``attr`` inside a test of its own."""
+    for node in ast.walk(closure_node):
+        if isinstance(node, (ast.If, ast.While)):
+            for sub in ast.walk(node.test):
+                if self_attr(sub) == attr:
+                    return True
+        # ``x = self.attr == captured`` style guards count too.
+        if isinstance(node, ast.Compare):
+            for sub in ast.walk(node):
+                if self_attr(sub) == attr:
+                    return True
+    return False
+
+
+def _check_rsc601(
+    class_map: ClassAccessMap, module: str, report: Report, annotated: bool
+) -> None:
+    if annotated:
+        return
+    for method in class_map.methods.values():
+        for registered in method.closures:
+            checked = _branch_test_reads(method, registered.line)
+            if not checked:
+                continue
+            inner = closure_access(registered.node)
+            acted = set(inner.writes) | set(inner.compound)
+            for attr in sorted(acted & set(checked)):
+                if _closure_revalidates(registered.node, attr):
+                    continue
+                qualifier = "%s.%s" % (class_map.name, method.name)
+                report.add(
+                    "RSC601",
+                    "continuation registered via %r writes self.%s, which "
+                    "the enclosing method tested at line %d — the check is "
+                    "stale by the time the continuation runs; re-validate "
+                    "self.%s inside the continuation"
+                    % (registered.via, attr, checked[attr], attr),
+                    class_map.file,
+                    line=registered.line,
+                    component=finding_key("RSC601", module, qualifier, attr),
+                )
+
+
+def _check_rsc602(
+    class_map: ClassAccessMap, module: str, report: Report, annotated: bool
+) -> None:
+    if annotated:
+        return
+    shared = class_map.shared_attrs()
+    for method in class_map.methods.values():
+        if is_init_method(method.name):
+            continue
+        for attr, lines in sorted(method.compound.items()):
+            if not is_shared_state_name(attr):
+                continue
+            qualifier = "%s.%s" % (class_map.name, method.name)
+            shared_note = (
+                " (touched by %d methods)"
+                % sum(
+                    1
+                    for m in class_map.methods.values()
+                    if attr in m.reads or attr in m.writes or attr in m.compound
+                )
+                if attr in shared
+                else ""
+            )
+            report.add(
+                "RSC602",
+                "compound read-modify-write on shared state self.%s%s is "
+                "not atomic under threads; a lock, an atomic primitive, or "
+                "a per-thread shard is needed before the threads backend "
+                "can touch this class" % (attr, shared_note),
+                class_map.file,
+                line=lines[0],
+                component=finding_key("RSC602", module, qualifier, attr),
+            )
+
+
+class _ModuleStateVisitor(ast.NodeVisitor):
+    """RSC603: mutations of module-level state from function scope."""
+
+    def __init__(
+        self,
+        module_map: ModuleMap,
+        annotations: ThreadSafeAnnotations,
+        imported_modules: Set[str],
+        report: Report,
+    ):
+        self.module_map = module_map
+        self.annotations = annotations
+        self.imported_modules = imported_modules
+        self.report = report
+        self._function_stack: List[str] = []
+        self._globals_declared: List[Set[str]] = []
+        self._allowed_globals: List[Set[str]] = []
+
+    # -- scope tracking -------------------------------------------------
+    def _enter(self, name: str) -> None:
+        self._function_stack.append(name)
+        self._globals_declared.append(set())
+        self._allowed_globals.append(set())
+
+    def _exit(self) -> None:
+        self._function_stack.pop()
+        self._globals_declared.pop()
+        self._allowed_globals.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._exit()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._exit()
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._globals_declared:
+            self._globals_declared[-1].update(node.names)
+            # A justified annotation on the ``global`` declaration
+            # blesses every rebinding of those names in this function —
+            # the natural place to document a swap point once.
+            allowed, justification = self.annotations.annotation_at(node.lineno)
+            if allowed and justification:
+                self._allowed_globals[-1].update(node.names)
+
+    # -- findings -------------------------------------------------------
+    def _qualifier(self) -> str:
+        return ".".join(self._function_stack) if self._function_stack else "<module>"
+
+    def _flag(self, line: int, name: str, how: str) -> None:
+        allowed, justification = self.annotations.annotation_at(line)
+        if allowed and justification:
+            return
+        if self._allowed_globals and name in set().union(*self._allowed_globals):
+            return
+        self.report.add(
+            "RSC603",
+            "%s mutates module-level state %r outside a designated init/"
+            "swap path; under threads every reader races this write — "
+            "annotate a deliberate swap point with '# repro: thread-safe: "
+            "<why>' on the mutation line" % (how, name),
+            self.module_map.filename,
+            line=line,
+            component=finding_key(
+                "RSC603", self.module_map.module, self._qualifier(), name
+            ),
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._function_stack:
+            declared = set().union(*self._globals_declared)
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    self._flag(node.lineno, target.id, "global rebinding")
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    name = target.value.id
+                    if name in self.module_map.module_mutables:
+                        self._flag(node.lineno, name, "subscript assignment")
+                elif isinstance(target, ast.Attribute) and isinstance(
+                    target.value, ast.Name
+                ):
+                    owner = target.value.id
+                    if owner in self.imported_modules and target.attr.isupper():
+                        self._flag(
+                            node.lineno,
+                            "%s.%s" % (owner, target.attr),
+                            "cross-module attribute assignment",
+                        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_stack:
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.module_map.module_mutables
+                and func.attr
+                in ("append", "add", "update", "clear", "pop", "extend", "remove", "setdefault")
+            ):
+                self._flag(node.lineno, func.value.id, "container mutation")
+        self.generic_visit(node)
+
+
+def _check_rsc604(
+    class_map: ClassAccessMap,
+    module: str,
+    report: Report,
+    annotated: bool,
+    justification: str,
+    imported_modules: Set[str],
+) -> None:
+    mutable_attrs = {
+        attr for attr, mutable in class_map.init_attrs.items() if mutable
+    }
+    if not mutable_attrs:
+        return
+    for method in class_map.methods.values():
+        for node in ast.walk(method.node):
+            escapes: List[Tuple[str, str]] = []  # (attr, how)
+            if isinstance(node, ast.Call):
+                func = node.func
+                callee: Optional[str] = None
+                receiver_retains = False
+                if isinstance(func, ast.Name):
+                    # A bare function call retains nothing unless it is a
+                    # constructor building an object around the argument.
+                    callee = func.id
+                    receiver_retains = callee[:1].isupper()
+                elif isinstance(func, ast.Attribute):
+                    callee = func.attr
+                    base = func.value
+                    if isinstance(base, ast.Name) and base.id == "self":
+                        receiver_retains = callee[:1].isupper()
+                    elif self_attr(base) is not None:
+                        receiver_retains = False  # self.x.method(self.y): intra-object
+                    elif isinstance(base, ast.Name) and (
+                        base.id in _SAFE_RECEIVERS or base.id in imported_modules
+                    ):
+                        # module.function(self.x) / dict.fromkeys(self.x):
+                        # only a constructor access retains the alias.
+                        receiver_retains = callee[:1].isupper()
+                    else:
+                        # another object's method receives the alias.
+                        receiver_retains = True
+                if (
+                    callee is None
+                    or callee in _SAFE_CALLEES
+                    or not receiver_retains
+                ):
+                    continue
+                constructor = callee[:1].isupper()
+                for arg in node.args:
+                    attr = self_attr(arg)
+                    if attr in mutable_attrs:
+                        assert attr is not None
+                        how = (
+                            "passed to constructor %s()" % callee
+                            if constructor
+                            else "passed to %s()" % callee
+                        )
+                        escapes.append((attr, how))
+            elif isinstance(node, ast.Assign):
+                value_attr = self_attr(node.value)
+                if value_attr is not None and value_attr in mutable_attrs:
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and not (
+                                isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            )
+                        ):
+                            escapes.append(
+                                (value_attr, "aliased into %s" % ast.unparse(target))
+                            )
+            for attr, how in escapes:
+                qualifier = "%s.%s" % (class_map.name, method.name)
+                if annotated:
+                    message = (
+                        "thread-safe contract violated (%r): mutable "
+                        "self.%s %s — an escaping alias can be mutated "
+                        "outside this class's discipline, so the annotation "
+                        "cannot hold" % (justification, attr, how)
+                    )
+                else:
+                    message = (
+                        "mutable container self.%s %s; two objects now share "
+                        "one unlocked structure — pass a copy, an immutable "
+                        "view, or move ownership" % (attr, how)
+                    )
+                report.add(
+                    "RSC604",
+                    message,
+                    class_map.file,
+                    line=node.lineno,
+                    component=finding_key("RSC604", module, qualifier, attr),
+                )
+
+
+def _check_rsc605(
+    class_map: ClassAccessMap, module: str, report: Report, annotated: bool
+) -> None:
+    if annotated or not class_map.epoch_attrs:
+        return
+    for method in class_map.methods.values():
+        for registered in method.closures:
+            inner = closure_access(registered.node)
+            touched = set(inner.reads) | set(inner.writes) | set(inner.compound)
+            state_touched = sorted(
+                attr
+                for attr in touched
+                if attr not in class_map.epoch_attrs
+            )
+            if not state_touched:
+                continue
+            if _mentions_epoch(registered.node):
+                continue
+            qualifier = "%s.%s" % (class_map.name, method.name)
+            report.add(
+                "RSC605",
+                "continuation registered via %r touches instance state "
+                "(%s) without comparing a captured epoch, but the class "
+                "maintains %s — the continuation may run against a "
+                "different incarnation; capture the epoch at registration "
+                "and compare before acting (the Envelope.sent_epoch "
+                "pattern)"
+                % (
+                    registered.via,
+                    ", ".join("self.%s" % a for a in state_touched[:3]),
+                    ", ".join(sorted("self.%s" % a for a in class_map.epoch_attrs)),
+                ),
+                class_map.file,
+                line=registered.line,
+                component=finding_key(
+                    "RSC605", module, qualifier, state_touched[0]
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def check_source(
+    source: str,
+    filename: str = "<string>",
+    module: Optional[str] = None,
+    report: Optional[Report] = None,
+) -> Report:
+    """Run the static concurrency rules over one source buffer."""
+    if report is None:
+        report = Report()
+    if module is None:
+        module = _module_name(filename)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add(
+            "RSC600", "syntax error: %s" % exc.msg, filename, line=exc.lineno or 1
+        )
+        return report
+    annotations = ThreadSafeAnnotations(source)
+    for line in annotations.bare_markers():
+        report.add(
+            "RSC600",
+            "bare '# repro: thread-safe' marker with no justification; a "
+            "contract needs a reason — write '# repro: thread-safe: <why>'",
+            filename,
+            line=line,
+            component=finding_key("RSC600", module, "<module>", "-"),
+            severity=Severity.WARNING,
+        )
+    module_map = build_module_map(tree, filename, module)
+    imported_modules: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported_modules.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                # ``from x import y as z`` may bind a module object too;
+                # treat any lowercase bare import as a candidate module.
+                bound = alias.asname or alias.name
+                if bound.islower():
+                    imported_modules.add(bound)
+    for class_map in module_map.classes:
+        annotated, justification = annotations.annotation_at(class_map.line)
+        annotated = annotated and bool(justification)
+        _check_rsc601(class_map, module, report, annotated)
+        _check_rsc602(class_map, module, report, annotated)
+        _check_rsc604(
+            class_map, module, report, annotated, justification, imported_modules
+        )
+        _check_rsc605(class_map, module, report, annotated)
+    _ModuleStateVisitor(module_map, annotations, imported_modules, report).visit(tree)
+    return report
+
+
+def check_concurrency(
+    paths: Optional[Sequence[str]] = None,
+    baseline: Optional[Set[str]] = None,
+    baseline_path: str = "",
+) -> Report:
+    """Run Pass 6 over ``paths`` (default: the four runtime packages).
+
+    With a ``baseline`` set, matching findings are demoted to tagged
+    warnings and stale keys are reported (see :mod:`.contract`).
+    """
+    report = Report()
+    if paths is None:
+        paths = default_concurrency_paths()
+    for filename in _iter_python_files(paths, report):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.add("RSC600", "cannot read file: %s" % exc, filename)
+            continue
+        check_source(source, filename, report=report)
+    if baseline is not None:
+        report, stale = apply_baseline(report, baseline)
+        report_stale_keys(report, stale, baseline_path or "<baseline>")
+    return report

@@ -1,0 +1,224 @@
+"""The schedule-perturbation sanitizer (``repro check --sanitize``).
+
+The static rules (:mod:`.rules`) predict which state goes wrong when
+event-loop atomicity disappears. This module *demonstrates* schedule
+sensitivity today, without threads: it re-executes the seeded bench
+scenarios with a :class:`~repro.sim.events.PerturbedPolicy` installed,
+so same-timestamp events run in a seeded-random order instead of FIFO
+— every perturbed order is still a *legal* schedule (time order is
+preserved; only ties break differently), so anything that breaks was
+relying on incidental FIFO tie-breaking.
+
+Two failure modes, two codes:
+
+``RSC610`` — a perturbed schedule broke the run: an invariant check
+    failed (token conservation / step property / ``verify()`` — the
+    end-to-end scenarios verify internally and raise) or the scenario
+    crashed outright.
+
+``RSC611`` — the same perturbation seed produced two different result
+    fingerprints, i.e. the run is not even deterministic *given* the
+    schedule. That is a deeper defect than schedule sensitivity (it
+    usually means iteration over an unordered container or leaked
+    global state) and is reported at error severity too.
+
+The *fingerprint* of a run is the scenario's seed-stable output: its
+``events`` count and every metric that is a pure function of simulated
+time, excluding the wall-clock rates. Two different sanitizer seeds
+legitimately produce different fingerprints (different tie-breaks lead
+to different hop counts); one seed must reproduce its own exactly.
+
+On divergence the sanitizer writes a JSON artifact per failure (both
+fingerprints, diffed keys) for CI upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import PROFILES, run_bench
+from repro.bench.result import ScenarioResult
+from repro.sim.events import PerturbedPolicy, schedule_policy
+from repro.staticcheck.diagnostics import Report
+
+#: Metric keys measured in wall-clock time — excluded from fingerprints
+#: because they legitimately vary run to run on the same machine.
+WALL_CLOCK_METRICS = frozenset(
+    {"scan_ops_per_sec", "speedup_vs_scan", "batches_per_sec"}
+)
+
+#: Default perturbation seeds for ``--sanitize`` with no explicit list.
+DEFAULT_SANITIZE_SEEDS: Tuple[int, ...] = (1, 2, 3)
+
+#: Where divergence artifacts land unless overridden (CI uploads this).
+DEFAULT_ARTIFACT_DIR = "sanitizer-artifacts"
+
+
+@dataclass
+class SanitizerConfig:
+    """One sanitizer invocation's knobs."""
+
+    profile: str = "smoke"
+    seeds: Sequence[int] = DEFAULT_SANITIZE_SEEDS
+    #: Workload seed handed to the scenarios themselves (the bench
+    #: default), independent of the perturbation seeds.
+    bench_seed: int = 0
+    #: Upper bound on extra per-message delivery delay. 0.0 keeps the
+    #: perturbation to pure same-timestamp tie-breaking, which every
+    #: correct implementation must tolerate; positive values also
+    #: stretch transit times (still deterministic per seed).
+    max_jitter: float = 0.0
+    scenarios: Optional[Sequence[str]] = None
+    artifact_dir: str = DEFAULT_ARTIFACT_DIR
+
+
+@dataclass
+class SanitizerOutcome:
+    """What happened, beyond the diagnostics: run counts for the CLI
+    summary and the artifact files written."""
+
+    runs: int = 0
+    failures: int = 0
+    artifacts: List[str] = field(default_factory=list)
+
+
+def fingerprint(result: ScenarioResult) -> Dict[str, object]:
+    """The seed-stable identity of one scenario run."""
+    return {
+        "name": result.name,
+        "events": result.events,
+        "metrics": {
+            key: value
+            for key, value in sorted(result.metrics.items())
+            if key not in WALL_CLOCK_METRICS
+        },
+    }
+
+
+def _diff_keys(first: Dict[str, object], second: Dict[str, object]) -> List[str]:
+    first_metrics = dict(first.get("metrics", {}))  # type: ignore[arg-type]
+    second_metrics = dict(second.get("metrics", {}))  # type: ignore[arg-type]
+    diffs = []
+    if first.get("events") != second.get("events"):
+        diffs.append("events")
+    for key in sorted(set(first_metrics) | set(second_metrics)):
+        if first_metrics.get(key) != second_metrics.get(key):
+            diffs.append("metrics.%s" % key)
+    return diffs
+
+
+def _run_one(
+    config: SanitizerConfig, scenario: str, perturbation_seed: int
+) -> ScenarioResult:
+    """One scenario execution under a fresh perturbed policy."""
+    policy_rng = random.Random(perturbation_seed)
+    with schedule_policy(
+        lambda: PerturbedPolicy(policy_rng, max_jitter=config.max_jitter)
+    ):
+        results = run_bench(config.profile, config.bench_seed, only=[scenario])
+    return results[0]
+
+
+def _write_artifact(config: SanitizerConfig, name: str, payload: Dict) -> Optional[str]:
+    try:
+        os.makedirs(config.artifact_dir, exist_ok=True)
+        path = os.path.join(config.artifact_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+    except OSError:
+        return None  # artifact emission must never mask the finding
+
+
+def run_sanitizer(
+    config: Optional[SanitizerConfig] = None,
+    report: Optional[Report] = None,
+) -> Tuple[Report, SanitizerOutcome]:
+    """Execute every selected scenario under every perturbation seed.
+
+    Each (scenario, seed) pair runs **twice**: once to observe behaviour
+    under the perturbed schedule (RSC610 on crash/invariant failure),
+    once more to check the perturbed run reproduces its own fingerprint
+    (RSC611 on mismatch). Findings are appended to ``report``.
+    """
+    if config is None:
+        config = SanitizerConfig()
+    if report is None:
+        report = Report()
+    outcome = SanitizerOutcome()
+    scenarios = (
+        list(config.scenarios)
+        if config.scenarios is not None
+        else list(PROFILES[config.profile])
+    )
+    source = "sanitizer:%s" % config.profile
+    for scenario in scenarios:
+        for seed in config.seeds:
+            outcome.runs += 1
+            component = "RSC610 %s:%s:seed%d" % (config.profile, scenario, seed)
+            try:
+                first = _run_one(config, scenario, seed)
+            except Exception as exc:
+                outcome.failures += 1
+                artifact = _write_artifact(
+                    config,
+                    "divergence_%s_seed%d_crash.json" % (scenario, seed),
+                    {
+                        "scenario": scenario,
+                        "profile": config.profile,
+                        "perturbation_seed": seed,
+                        "bench_seed": config.bench_seed,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+                if artifact:
+                    outcome.artifacts.append(artifact)
+                report.add(
+                    "RSC610",
+                    "scenario %r failed under perturbation seed %d: %s — a "
+                    "legal reordering of same-timestamp events broke an "
+                    "invariant, so the code depends on FIFO tie-breaking"
+                    % (scenario, seed, exc),
+                    source,
+                    component=component,
+                )
+                continue
+            second = _run_one(config, scenario, seed)
+            first_print = fingerprint(first)
+            second_print = fingerprint(second)
+            if first_print != second_print:
+                outcome.failures += 1
+                diffs = _diff_keys(first_print, second_print)
+                artifact = _write_artifact(
+                    config,
+                    "divergence_%s_seed%d.json" % (scenario, seed),
+                    {
+                        "scenario": scenario,
+                        "profile": config.profile,
+                        "perturbation_seed": seed,
+                        "bench_seed": config.bench_seed,
+                        "first": first_print,
+                        "second": second_print,
+                        "diverged_keys": diffs,
+                    },
+                )
+                if artifact:
+                    outcome.artifacts.append(artifact)
+                report.add(
+                    "RSC611",
+                    "scenario %r is nondeterministic under perturbation seed "
+                    "%d: two identical runs diverged on %s — same-schedule "
+                    "divergence usually means unordered-container iteration "
+                    "or leaked global state"
+                    % (scenario, seed, ", ".join(diffs) or "unknown keys"),
+                    source,
+                    component="RSC611 %s:%s:seed%d" % (config.profile, scenario, seed),
+                )
+    return report, outcome

@@ -18,11 +18,17 @@ Error-code blocks
     Protocol message-flow analysis (send/handle graph).
 ``RSC5xx``
     Bounded model checking of the live protocols.
+``RSC6xx``
+    Concurrency: static shared-state/atomicity rules (601-605) and the
+    schedule-perturbation sanitizer (610/611); RSC600 covers analysis
+    limitations and contract/baseline hygiene.
 
 :data:`KNOWN_CODES` is the authoritative registry: every code any pass
 may emit, with a one-line meaning. The JSON schema test asserts that
 the set of codes in the source, this registry, and the documentation
-agree, so a new diagnostic cannot ship undocumented.
+agree, so a new diagnostic cannot ship undocumented; the companion
+:mod:`repro.staticcheck.explain` registry carries the long-form
+rationale and a minimal example per code (``repro check --explain``).
 """
 
 from __future__ import annotations
@@ -72,6 +78,15 @@ KNOWN_CODES: Dict[str, str] = {
     "RSC503": "successor graph splits into more than one ring",
     "RSC504": "issued token never assigned an output wire (crash-free run)",
     "RSC505": "quiescent output counts violate the step property",
+    # Pass 6 — concurrency (static rules + schedule sanitizer).
+    "RSC600": "concurrency-pass limitation, bare thread-safe marker, or stale baseline entry",
+    "RSC601": "check-then-act: continuation acts on state tested before registration",
+    "RSC602": "compound read-modify-write on shared state (not atomic under threads)",
+    "RSC603": "module-level mutable state mutated outside a designated swap point",
+    "RSC604": "mutable container escapes its owner (unlocked structure shared)",
+    "RSC605": "continuation touches state in an epoch-bearing class without an epoch guard",
+    "RSC610": "invariant broken under adversarial same-timestamp event reordering",
+    "RSC611": "nondeterministic results under a fixed perturbation seed",
 }
 
 

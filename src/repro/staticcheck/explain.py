@@ -1,0 +1,335 @@
+"""Long-form explanations for every diagnostic code (``--explain``).
+
+:data:`EXPLANATIONS` pairs each :data:`~repro.staticcheck.diagnostics.KNOWN_CODES`
+entry with a *rationale* (why the rule exists, anchored in the paper or
+the execution model) and a *minimal example* that triggers it — the
+same shape as the negative fixtures under ``tests/staticcheck/``. The
+schema test asserts this registry covers the code registry exactly, so
+an explanation cannot go missing or stale-reference a removed code.
+
+``repro check --explain RSC601`` renders one entry; an unknown code is
+a usage error (exit 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.staticcheck.diagnostics import KNOWN_CODES
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Rationale and a minimal triggering example for one code."""
+
+    rationale: str
+    example: str
+
+
+EXPLANATIONS: Dict[str, Explanation] = {
+    # ------------------------------------------------------------------
+    # Pass 1 — network structure
+    # ------------------------------------------------------------------
+    "RSC101": Explanation(
+        "Balancer wiring is the substrate every other guarantee stands "
+        "on: widths must match declared levels, wire indices must be in "
+        "range, and no wire may appear twice in one level.",
+        "Network(width=4, levels=[[Balancer(0, 0)]])  # duplicate wire 0",
+    ),
+    "RSC102": Explanation(
+        "A counting network permutes tokens; if the declared output "
+        "order is not a permutation of the wires, downstream counters "
+        "double-count or skip outputs.",
+        "outputs = [0, 1, 1, 3]  # wire 2 missing, wire 1 twice",
+    ),
+    "RSC103": Explanation(
+        "Members must form a DAG with a consistent layer assignment, or "
+        "tokens can revisit a balancer and the depth bound of Lemma 2.2 "
+        "is meaningless.",
+        "a.successor = b; b.successor = a  # cycle between members",
+    ),
+    "RSC104": Explanation(
+        "Every internal wire needs exactly one producer and one "
+        "consumer; a dangling wire silently drops tokens, a shared one "
+        "merges streams the topology says are distinct.",
+        "level 2 consumes wire 5 which no level 1 balancer produces",
+    ),
+    "RSC105": Explanation(
+        "The 0-1 principle is the certification shortcut: a width-w "
+        "network that counts all 0/1 streams counts all streams. A "
+        "failure here means the structure is not a counting network at "
+        "all.",
+        "swap one comparator in BITONIC[4]; certify() reports RSC105",
+    ),
+    "RSC106": Explanation(
+        "Depth is the paper's cost model (Lemma 2.2): a bitonic "
+        "network's depth is exactly d(d+1)/2 for w = 2^d. Deviation "
+        "means levels were merged or duplicated during construction.",
+        "bitonic_network(8).depth != 6  # 3*4/2",
+    ),
+    "RSC107": Explanation(
+        "Lemma 2.3 lower-bounds effective width; an adaptive cut that "
+        "narrows below it cannot sustain the claimed throughput, so the "
+        "adaptivity rules must never produce one.",
+        "a cut collapsing BITONIC[8] to effective width 1",
+    ),
+    "RSC108": Explanation(
+        "Exhaustive 0-1 certification is 2^w streams; beyond the limit "
+        "the checker cannot certify and says so rather than pretending.",
+        "certify(bitonic_network(1024))  # not exhaustively checkable",
+    ),
+    # ------------------------------------------------------------------
+    # Pass 2 — cuts and transitions
+    # ------------------------------------------------------------------
+    "RSC201": Explanation(
+        "A cut with no members counts nothing; it usually means a merge "
+        "rule fired past the root.",
+        "Cut(members=[])",
+    ),
+    "RSC202": Explanation(
+        "Cut members are paths into the component tree; a path that "
+        "walks off the tree references a component that cannot exist at "
+        "this width.",
+        "Cut(members=['0.3']) on a binary tree  # child index 3",
+    ),
+    "RSC203": Explanation(
+        "If one member is an ancestor of another, the tokens under the "
+        "descendant are counted twice — once by each component.",
+        "Cut(members=['0', '0.1'])  # '0' contains '0.1'",
+    ),
+    "RSC204": Explanation(
+        "Every root-to-leaf path must cross exactly one member; a "
+        "coverage hole is a token stream no component owns.",
+        "Cut(members=['0.0'])  # paths under '0.1' uncovered",
+    ),
+    "RSC205": Explanation(
+        "A transition relates two cuts of the *same* tree; comparing "
+        "cuts of different widths conflates unrelated configurations.",
+        "transition(cut_of_width(8), cut_of_width(16))",
+    ),
+    "RSC206": Explanation(
+        "Legal reconfiguration is subtree-aligned splits and merges "
+        "that conserve tokens (Section 3.2); anything else can lose or "
+        "mint counts mid-flight.",
+        "replace member '0' by ['0.0'] alone  # '0.1' tokens dropped",
+    ),
+    # ------------------------------------------------------------------
+    # Pass 3 — codebase lint
+    # ------------------------------------------------------------------
+    "RSC300": Explanation(
+        "An unreadable or unparseable file silently shrinks lint "
+        "coverage; the pass reports the gap instead of skipping it.",
+        "lint a file containing 'def f(:' (syntax error)",
+    ),
+    "RSC301": Explanation(
+        "Unseeded randomness breaks run-to-run reproducibility — the "
+        "whole repro harness keys on explicit Random(seed).",
+        "delay = random.random()  # module-level RNG",
+    ),
+    "RSC302": Explanation(
+        "Simulation code must live in simulated time; a wall-clock read "
+        "couples results to machine speed and destroys determinism.",
+        "start = time.time()  # inside repro.sim",
+    ),
+    "RSC303": Explanation(
+        "Handler-context code that calls another process's methods "
+        "directly bypasses latency, queueing, and crash semantics the "
+        "bus models.",
+        "def handle_message(self, m): self.peer.handle_message(m)",
+    ),
+    "RSC304": Explanation(
+        "A mutable default is one shared object across all calls — "
+        "state leaks between supposedly independent invocations.",
+        "def route(self, token, path=[]): path.append(token)",
+    ),
+    "RSC305": Explanation(
+        "A timeout timer whose handle is dropped can never be "
+        "cancelled; it fires against reused state later (the PR-4 "
+        "cancellable-timer API exists exactly for this).",
+        "self.sim.schedule(t, self._on_timeout)  # handle discarded",
+    ),
+    "RSC306": Explanation(
+        "Eager string formatting at a record call pays the formatting "
+        "cost even when recording is off — the obs fast path is a "
+        "single enabled check.",
+        "obs.note('tok %s' % token)  # formats even when disabled",
+    ),
+    # ------------------------------------------------------------------
+    # Pass 4 — protocol message flow
+    # ------------------------------------------------------------------
+    "RSC400": Explanation(
+        "Dynamic RPC names or unreadable files blind the flow graph; "
+        "the pass reports reduced coverage rather than inventing edges.",
+        "self.call(peer, method_name_variable, ...)",
+    ),
+    "RSC401": Explanation(
+        "An RPC sent with no matching rpc_* handler is mail to nowhere: "
+        "at runtime it times out on every send.",
+        "self.call(peer, 'rpc_fetch', ...)  # no rpc_fetch anywhere",
+    ),
+    "RSC402": Explanation(
+        "A handler no send site reaches is dead protocol surface — "
+        "usually a renamed message kind that left its receiver behind.",
+        "def rpc_old_probe(self, ...)  # no caller mentions it",
+    ),
+    "RSC403": Explanation(
+        "Every call() needs an on_timeout path: the peer may be "
+        "crashed, and a reply that never comes must not wedge the "
+        "protocol.",
+        "self.call(peer, 'rpc_get', on_reply=f)  # no on_timeout",
+    ),
+    "RSC404": Explanation(
+        "Popping a _pending continuation without invoking or rearming "
+        "it strands the caller: its reply can never be delivered.",
+        "self._pending.pop(request_id)  # continuation discarded",
+    ),
+    "RSC405": Explanation(
+        "A registered continuation that mutates shared state without a "
+        "liveness/epoch guard may run after the world changed — the "
+        "flow-graph ancestor of RSC601/RSC605.",
+        "on_reply=lambda r: self.table.update(r)  # no guard",
+    ),
+    # ------------------------------------------------------------------
+    # Pass 5 — bounded model checking
+    # ------------------------------------------------------------------
+    "RSC500": Explanation(
+        "The explorer hit an internal error or truncated the schedule "
+        "space; results below this line are incomplete, not green.",
+        "model-check with an interleaving budget too small to close",
+    ),
+    "RSC501": Explanation(
+        "After crash recovery the ring must reconnect; a partitioned "
+        "ring strands every token routed across the gap.",
+        "crash two adjacent nodes in a 3-node ring, explore recovery",
+    ),
+    "RSC502": Explanation(
+        "A connected ring with misordered successors still violates "
+        "the routing invariant: lookups overshoot their key range.",
+        "successor chain n0 -> n2 -> n1 -> n0",
+    ),
+    "RSC503": Explanation(
+        "Two disjoint rings both believe they are *the* ring; counts "
+        "diverge immediately and never reconcile.",
+        "recovery leaves {n0,n1} and {n2,n3} self-consistent rings",
+    ),
+    "RSC504": Explanation(
+        "In a crash-free schedule every issued token must reach an "
+        "output wire; one that does not was dropped by protocol logic, "
+        "not by failure.",
+        "a schedule where a forwarded token is never re-injected",
+    ),
+    "RSC505": Explanation(
+        "The step property is the paper's definition of counting "
+        "(quiescent output counts differ by at most one, prefix-"
+        "heavy); violating it at quiescence means the network is not "
+        "counting.",
+        "output counts [3, 1] at quiescence  # gap of 2",
+    ),
+    # ------------------------------------------------------------------
+    # Pass 6 — concurrency
+    # ------------------------------------------------------------------
+    "RSC600": Explanation(
+        "Three hygiene conditions share this code: the pass could not "
+        "read a file (coverage gap), a '# repro: thread-safe' marker "
+        "has no justification (a contract needs a reason), or a "
+        "baseline entry matches no current finding (the triage ledger "
+        "must not rot).",
+        "# repro: thread-safe\n"
+        "class Registry: ...  # marker with no ': <why>'",
+    ),
+    "RSC601": Explanation(
+        "A method tests self.X, then registers a continuation (reply "
+        "handler, timer, scheduled closure) that writes self.X. By the "
+        "time the continuation runs, arbitrary events have executed: "
+        "the test is stale. Under the event loop this is a logic "
+        "hazard; under threads it is a textbook race. Re-read the "
+        "attribute inside the continuation.",
+        "if not self.busy:\n"
+        "    self._pending[rid] = lambda r: self._apply(r)\n"
+        "# continuation sets self.busy without re-checking it",
+    ),
+    "RSC602": Explanation(
+        "self.count += 1 is a load, an add, and a store. The event "
+        "loop runs handlers to completion so the three steps never "
+        "interleave — an accident of the execution model, not a "
+        "property of the code. The threads backend (ROADMAP) removes "
+        "the accident; counter state needs locks, atomics, or "
+        "per-thread shards first. Findings triaged as event-loop-only "
+        "live in CONCURRENCY_BASELINE.txt.",
+        "def handle_message(self, m):\n"
+        "    self.tokens_retired += 1  # RMW on shared counter",
+    ),
+    "RSC603": Explanation(
+        "Module-level mutable state written from function scope is a "
+        "process-wide race under threads. Deliberate swap points (the "
+        "repro.obs.recorder.ACTIVE pattern: installed between runs, "
+        "read-only during them) carry a '# repro: thread-safe: <why>' "
+        "annotation on the mutation line; everything else is a "
+        "finding.",
+        "ACTIVE = NullRecorder()\n"
+        "def install(r):\n"
+        "    global ACTIVE\n"
+        "    ACTIVE = r  # unannotated global swap",
+    ),
+    "RSC604": Explanation(
+        "A mutable container built in __init__ and passed to another "
+        "object gives two owners one unlocked structure; neither "
+        "class's locking discipline can cover both. On a class "
+        "annotated thread-safe this is a contract violation and is "
+        "never suppressed — the annotation cannot hold once aliases "
+        "escape. Hand out copies or immutable views instead.",
+        "def __init__(self):\n"
+        "    self.table = {}\n"
+        "def attach(self, peer):\n"
+        "    peer.adopt(self.table)  # alias escapes",
+    ),
+    "RSC605": Explanation(
+        "A class that maintains an epoch/version/incarnation counter "
+        "has declared that its state has generations — so every "
+        "continuation must check it still acts on the generation it "
+        "captured (the Envelope.sent_epoch pattern guards exactly "
+        "this re-registration ABA hazard). A continuation touching "
+        "state without comparing any epoch value may apply a stale "
+        "decision to a new incarnation.",
+        "self.epoch += 1  # class is epoch-bearing\n"
+        "self.sim.schedule(t, lambda: self._retry(token))\n"
+        "# _retry never compares a captured epoch",
+    ),
+    "RSC610": Explanation(
+        "The sanitizer re-ran a seeded bench scenario with same-"
+        "timestamp events reordered by a seeded RNG — a schedule every "
+        "correct implementation must tolerate, since FIFO tie-breaking "
+        "is an implementation detail, not a spec. An invariant failure "
+        "(token conservation, step property, verify()) or crash under "
+        "such a schedule is a demonstrated ordering dependence, found "
+        "without threads. It also revokes baseline suppressions in the "
+        "same invocation: 'the event loop saves us' just stopped being "
+        "true.",
+        "repro check --sanitize=3  # scenario fails under seed 2",
+    ),
+    "RSC611": Explanation(
+        "One perturbation seed fully determines the schedule, so "
+        "running it twice must reproduce the result fingerprint "
+        "byte-for-byte. Divergence means nondeterminism *beyond* the "
+        "schedule — typically iteration over an unordered container "
+        "or leaked cross-run global state — which would make any "
+        "threads-backend bug unreproducible. Fix this before anything "
+        "else.",
+        "for node in self.members_set: ...  # set iteration order leaks",
+    ),
+}
+
+
+def explain(code: str) -> Optional[str]:
+    """Render one code's description, rationale, and example, or None
+    for a code absent from :data:`KNOWN_CODES`."""
+    normalized = code.strip().upper()
+    if normalized not in KNOWN_CODES:
+        return None
+    entry = EXPLANATIONS[normalized]
+    example = "\n".join("    " + line for line in entry.example.splitlines())
+    return (
+        "%s — %s\n\nRationale:\n%s\n\nExample (triggers the finding):\n%s"
+        % (normalized, KNOWN_CODES[normalized], entry.rationale, example)
+    )

@@ -1,18 +1,32 @@
 """Orchestration for ``repro check`` — runs all passes, one summary.
 
 A *target* is one checkable subject (a balancer-level network, a cut of
-a decomposition tree, a counting tree, or a linted path). The runner
-builds the standard target matrix for the requested widths — bitonic
-and periodic balancer networks, the singleton/level-1/full cuts of
-``T_w``, the block-level cut of the adaptive periodic tree, and the
-diffracting-tree baseline — runs every pass, and reports per-target
-status plus the combined diagnostics.
+a decomposition tree, a counting tree, a linted path, the concurrency
+surface, or one sanitizer profile). The runner builds the standard
+target matrix for the requested widths — bitonic and periodic balancer
+networks, the singleton/level-1/full cuts of ``T_w``, the block-level
+cut of the adaptive periodic tree, and the diffracting-tree baseline —
+runs every pass, and reports per-target status plus the combined
+diagnostics.
+
+Every invocation also produces a :class:`PassSummary` per executed pass
+(wall-clock seconds, finding and target counts) — the ``passes`` block
+of the JSON payload, pinned by the schema tests. Timing uses
+``time.perf_counter``: the analyzer runs outside ``repro.sim`` /
+``repro.runtime``, where simulated time is mandatory.
+
+Pass 6 couples its two halves here: when the schedule-perturbation
+sanitizer fails in the same invocation as the static concurrency pass,
+baseline-suppressed static findings are re-promoted to errors
+(:func:`~repro.staticcheck.concurrency.promote_baseline_suppressed`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bitonic import bitonic_depth, bitonic_network
 from repro.core.cut import Cut
@@ -47,12 +61,44 @@ class TargetResult:
         return "%s  %s%s" % (status, self.name, suffix)
 
 
+@dataclass(frozen=True)
+class PassSummary:
+    """One analysis pass's share of the invocation: wall time, findings
+    emitted (errors + warnings), and targets examined."""
+
+    name: str
+    seconds: float
+    findings: int
+    targets: int
+
+    def format(self) -> str:
+        return "pass %-14s %3d finding(s)  %3d target(s)  %8.3fs" % (
+            self.name,
+            self.findings,
+            self.targets,
+            self.seconds,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "findings": self.findings,
+            "targets": self.targets,
+        }
+
+
 @dataclass
 class CheckRun:
     """Everything one ``repro check`` invocation produced."""
 
     targets: List[TargetResult]
     report: Report
+    passes: List[PassSummary] = field(default_factory=list)
+    #: Divergence artifacts the sanitizer wrote (for CI upload).
+    artifacts: List[str] = field(default_factory=list)
+    #: Path the baseline was (re)written to, when updating.
+    baseline_written: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +115,11 @@ class CheckRun:
             "%d target(s), %d passed, %d failed"
             % (len(self.targets), len(self.targets) - failed, failed)
         )
+        lines.extend(p.format() for p in self.passes)
+        if self.baseline_written:
+            lines.append("baseline written: %s" % self.baseline_written)
+        for artifact in self.artifacts:
+            lines.append("divergence artifact: %s" % artifact)
         return "\n".join(lines)
 
     def to_json_payload(self) -> Dict[str, object]:
@@ -78,6 +129,7 @@ class CheckRun:
                 {"name": t.name, "ok": t.ok, "diagnostics": t.diagnostics}
                 for t in self.targets
             ],
+            "passes": [p.to_dict() for p in self.passes],
             "diagnostics": [d.to_dict() for d in self.report.diagnostics],
         }
 
@@ -92,6 +144,123 @@ def _cut_targets(width: int) -> List[Tuple[str, Cut]]:
     return targets
 
 
+class _PassLedger:
+    """Accumulates targets, diagnostics, and per-pass statistics."""
+
+    def __init__(self) -> None:
+        self.targets: List[TargetResult] = []
+        self.combined = Report()
+        # name -> [seconds, findings, targets]; insertion-ordered.
+        self._stats: Dict[str, List[float]] = {}
+
+    def add_target(
+        self, pass_name: str, name: str, report: Report, seconds: float
+    ) -> None:
+        self.targets.append(TargetResult(name, report.ok, len(report.errors)))
+        self.combined.extend(report)
+        stats = self._stats.setdefault(pass_name, [0.0, 0.0, 0.0])
+        stats[0] += seconds
+        stats[1] += len(report.diagnostics)
+        stats[2] += 1
+
+    def run_pass(
+        self, pass_name: str, name: str, thunk: Callable[[], Report]
+    ) -> Report:
+        start = time.perf_counter()
+        report = thunk()
+        self.add_target(pass_name, name, report, time.perf_counter() - start)
+        return report
+
+    def passes(self) -> List[PassSummary]:
+        return [
+            PassSummary(name, seconds, int(findings), int(target_count))
+            for name, (seconds, findings, target_count) in self._stats.items()
+        ]
+
+
+def _run_concurrency_half(
+    ledger: _PassLedger,
+    concurrency: bool,
+    concurrency_paths: Optional[Sequence[str]],
+    concurrency_baseline: Optional[str],
+    update_concurrency_baseline: bool,
+    sanitize_seeds: Optional[Sequence[int]],
+    sanitize_profile: str,
+    sanitize_jitter: float,
+    sanitize_artifact_dir: Optional[str],
+) -> Tuple[Optional[str], List[str]]:
+    """Pass 6: static rules, then the sanitizer, then the coupling rule
+    (sanitizer failure revokes baseline suppressions). Returns the
+    baseline path written (if any) and sanitizer artifact paths."""
+    from repro.staticcheck.concurrency import (
+        SanitizerConfig,
+        apply_baseline,
+        default_baseline_path,
+        format_baseline,
+        load_baseline,
+        promote_baseline_suppressed,
+        run_sanitizer,
+    )
+    from repro.staticcheck.concurrency.contract import report_stale_keys
+    from repro.staticcheck.concurrency.rules import check_concurrency
+
+    baseline_written: Optional[str] = None
+    artifacts: List[str] = []
+    static_report: Optional[Report] = None
+    static_seconds = 0.0
+    static_name = ""
+
+    if concurrency:
+        baseline_path = concurrency_baseline or default_baseline_path()
+        start = time.perf_counter()
+        static_report = check_concurrency(concurrency_paths)
+        if update_concurrency_baseline:
+            content = format_baseline(static_report)
+            with open(baseline_path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            baseline_written = baseline_path
+        if os.path.exists(baseline_path):
+            static_report, stale = apply_baseline(
+                static_report, load_baseline(baseline_path)
+            )
+            report_stale_keys(static_report, stale, baseline_path)
+        static_seconds = time.perf_counter() - start
+        static_name = "concurrency (%s)" % (
+            "default packages" if concurrency_paths is None else "%d path(s)" % len(concurrency_paths)
+        )
+
+    sanitizer_failed = False
+    if sanitize_seeds is not None:
+        config = SanitizerConfig(
+            profile=sanitize_profile,
+            seeds=tuple(sanitize_seeds),
+            max_jitter=sanitize_jitter,
+        )
+        if sanitize_artifact_dir is not None:
+            config.artifact_dir = sanitize_artifact_dir
+        start = time.perf_counter()
+        sanitizer_report, outcome = run_sanitizer(config)
+        seconds = time.perf_counter() - start
+        sanitizer_failed = not sanitizer_report.ok
+        artifacts = outcome.artifacts
+        ledger.add_target(
+            "sanitizer",
+            "sanitizer %s x%d seed(s) (%d run(s))"
+            % (sanitize_profile, len(config.seeds), outcome.runs),
+            sanitizer_report,
+            seconds,
+        )
+
+    if static_report is not None:
+        if sanitizer_failed:
+            static_report, promoted = promote_baseline_suppressed(static_report)
+            if promoted:
+                static_name += " [%d suppression(s) revoked]" % promoted
+        ledger.add_target("concurrency", static_name, static_report, static_seconds)
+
+    return baseline_written, artifacts
+
+
 def run_check(
     widths: Sequence[int] = DEFAULT_WIDTHS,
     convention: MergerConvention = MergerConvention.AHS94,
@@ -103,6 +272,14 @@ def run_check(
     protocol_paths: Optional[Sequence[str]] = None,
     model_check: bool = False,
     model_config=None,
+    concurrency: bool = False,
+    concurrency_paths: Optional[Sequence[str]] = None,
+    concurrency_baseline: Optional[str] = None,
+    update_concurrency_baseline: bool = False,
+    sanitize_seeds: Optional[Sequence[int]] = None,
+    sanitize_profile: str = "smoke",
+    sanitize_jitter: float = 0.0,
+    sanitize_artifact_dir: Optional[str] = None,
 ) -> CheckRun:
     """Run the requested passes and return the combined result.
 
@@ -110,43 +287,71 @@ def run_check(
     With ``protocol`` / ``model_check`` set, only those protocol-layer
     passes run — message-flow analysis over ``protocol_paths`` (default:
     the protocol-layer modules) and the bounded model checker under
-    ``model_config``. Otherwise the structure and cut passes run over
-    the standard target matrix for each width.
+    ``model_config``. With ``concurrency`` / ``sanitize_seeds`` set,
+    Pass 6 runs: the static RSC60x rules over ``concurrency_paths``
+    (default: the runtime packages) filtered through the triage baseline
+    at ``concurrency_baseline`` (default: ``CONCURRENCY_BASELINE.txt``
+    in the working directory, when present), and/or the schedule-
+    perturbation sanitizer over ``sanitize_profile``'s bench scenarios,
+    one run per perturbation seed. Otherwise the structure and cut
+    passes run over the standard target matrix for each width.
     """
-    targets: List[TargetResult] = []
-    combined = Report()
-
-    def record(name: str, report: Report) -> None:
-        targets.append(TargetResult(name, report.ok, len(report.errors)))
-        combined.extend(report)
+    ledger = _PassLedger()
 
     if lint is not None:
-        report = lint_paths(lint)
-        record("lint %s" % ", ".join(lint), report)
-        return CheckRun(targets, combined)
+        ledger.run_pass(
+            "lint", "lint %s" % ", ".join(lint), lambda: lint_paths(lint)
+        )
+        return CheckRun(ledger.targets, ledger.combined, ledger.passes())
 
     if protocol or model_check:
         if protocol:
             from repro.staticcheck.protocol.flow import check_message_flow
 
-            record("protocol message flow", check_message_flow(protocol_paths))
+            ledger.run_pass(
+                "protocol-flow",
+                "protocol message flow",
+                lambda: check_message_flow(protocol_paths),
+            )
         if model_check:
             from repro.staticcheck.protocol.model import ModelCheckConfig
             from repro.staticcheck.protocol.model import model_check as bounded_model_check
 
             config = model_config if model_config is not None else ModelCheckConfig()
-            record(
+            ledger.run_pass(
+                "model-check",
                 "bounded model check (n<=%d, depth %d)"
                 % (config.max_nodes, config.depth),
-                bounded_model_check(config),
+                lambda: bounded_model_check(config),
             )
-        return CheckRun(targets, combined)
+        return CheckRun(ledger.targets, ledger.combined, ledger.passes())
+
+    if concurrency or sanitize_seeds is not None:
+        baseline_written, artifacts = _run_concurrency_half(
+            ledger,
+            concurrency,
+            concurrency_paths,
+            concurrency_baseline,
+            update_concurrency_baseline,
+            sanitize_seeds,
+            sanitize_profile,
+            sanitize_jitter,
+            sanitize_artifact_dir,
+        )
+        return CheckRun(
+            ledger.targets,
+            ledger.combined,
+            ledger.passes(),
+            artifacts=artifacts,
+            baseline_written=baseline_written,
+        )
 
     for width in widths:
         name = "BITONIC[%d]" % width
-        record(
+        ledger.run_pass(
+            "structure",
             name,
-            check_balancing_network(
+            lambda name=name, width=width: check_balancing_network(
                 bitonic_network(width),
                 source=name,
                 expected_depth=bitonic_depth(width),
@@ -155,9 +360,10 @@ def run_check(
             ),
         )
         name = "PERIODIC[%d]" % width
-        record(
+        ledger.run_pass(
+            "structure",
             name,
-            check_balancing_network(
+            lambda name=name, width=width: check_balancing_network(
                 periodic_network(width),
                 source=name,
                 expected_depth=periodic_depth(width),
@@ -166,9 +372,10 @@ def run_check(
             ),
         )
         for name, cut in _cut_targets(width):
-            record(
+            ledger.run_pass(
+                "cuts",
                 name,
-                check_cut_network(
+                lambda name=name, cut=cut: check_cut_network(
                     cut,
                     convention=convention,
                     source=name,
@@ -180,9 +387,10 @@ def run_check(
             ptree = periodic_tree(width)
             cut = Cut(ptree, block_level_cut_paths(ptree))
             name = "P_%d block-level cut" % width
-            record(
+            ledger.run_pass(
+                "cuts",
                 name,
-                check_cut_network(
+                lambda name=name, cut=cut, ptree=ptree: check_cut_network(
                     cut,
                     wiring=PeriodicWiring(ptree),
                     source=name,
@@ -193,5 +401,9 @@ def run_check(
             )
         depth = width.bit_length() - 1
         name = "DIFFRACTING[depth=%d]" % depth
-        record(name, check_counting_tree(depth, source=name))
-    return CheckRun(targets, combined)
+        ledger.run_pass(
+            "structure",
+            name,
+            lambda name=name, depth=depth: check_counting_tree(depth, source=name),
+        )
+    return CheckRun(ledger.targets, ledger.combined, ledger.passes())

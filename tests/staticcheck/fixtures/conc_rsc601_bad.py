@@ -1,0 +1,20 @@
+"""Negative fixture: RSC601 — check-then-act across a continuation.
+
+``request`` tests ``self.ready``, then registers a closure that writes
+``self.ready`` without re-reading it: by the time the scheduled closure
+runs, arbitrary events may have flipped the flag. Exactly one finding
+(``ready`` is deliberately not a counter-flavoured name, the class has
+no epoch attribute, and nothing mutable escapes).
+"""
+
+
+class ReplyRouter:
+    def __init__(self):
+        self.ready = True
+
+    def request(self, sim):
+        if self.ready:
+            def on_done():
+                self.ready = False
+
+            sim.schedule(1.0, on_done)

@@ -1,0 +1,18 @@
+"""Negative fixture: RSC602 — compound RMW on shared counter state.
+
+``self.total += 1`` in a handler is a load-add-store on an attribute
+two methods touch; atomic under the event loop only by accident.
+Exactly one finding (no continuations, no epoch attribute, nothing
+mutable escapes).
+"""
+
+
+class WireCounter:
+    def __init__(self):
+        self.total = 0
+
+    def handle_message(self, message):
+        self.total += 1
+
+    def snapshot(self):
+        return self.total

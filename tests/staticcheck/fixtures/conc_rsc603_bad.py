@@ -1,0 +1,11 @@
+"""Negative fixture: RSC603 — module state mutated outside a swap point.
+
+A module-level mutable registry written from function scope, with no
+``# repro: thread-safe: <why>`` annotation. Exactly one finding.
+"""
+
+REGISTRY = {}
+
+
+def register(name, value):
+    REGISTRY[name] = value

@@ -1,0 +1,15 @@
+"""Negative fixture: RSC604 — a mutable container escapes its owner.
+
+``attach`` hands the ``__init__``-built dict to another object: two
+objects now share one unlocked structure. Exactly one finding
+(``adopt`` is not a container mutator, ``table`` is not a
+counter-flavoured name, and no continuations are registered).
+"""
+
+
+class TableOwner:
+    def __init__(self):
+        self.table = {}
+
+    def attach(self, peer):
+        peer.adopt(self.table)

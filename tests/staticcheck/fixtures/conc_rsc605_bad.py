@@ -1,0 +1,20 @@
+"""Negative fixture: RSC605 — continuation without an epoch guard.
+
+The class maintains ``self.epoch`` (it has declared its state has
+generations), yet the scheduled closure touches ``self.owner`` without
+comparing any epoch value — it may run against a later incarnation.
+Exactly one finding (no branch test precedes the registration, the
+write is not compound, and ``owner`` is not a counter-flavoured name).
+"""
+
+
+class EpochState:
+    def __init__(self):
+        self.epoch = 0
+        self.owner = None
+
+    def rearm(self, sim):
+        def fire():
+            self.owner = None
+
+        sim.schedule(5.0, fire)

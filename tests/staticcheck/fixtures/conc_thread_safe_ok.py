@@ -1,0 +1,25 @@
+"""Positive fixture: justified thread-safe contracts suppress findings.
+
+The global swap is annotated on its ``global`` declaration; the class
+annotation (line above the ``class`` statement) covers the compound
+update inside it. The concurrency pass must report nothing here.
+"""
+
+ACTIVE = {}
+
+
+def install(value):
+    global ACTIVE  # repro: thread-safe: swapped only between runs; readers snapshot at construction
+    ACTIVE = value
+
+
+# repro: thread-safe: single-writer discipline — only the event loop thread updates
+class AnnotatedCounter:
+    def __init__(self):
+        self.total = 0
+
+    def handle_message(self, message):
+        self.total += 1
+
+    def snapshot(self):
+        return self.total

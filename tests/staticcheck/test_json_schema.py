@@ -19,8 +19,9 @@ REPO_ROOT = os.path.normpath(os.path.join(HERE, os.pardir, os.pardir))
 STATICCHECK_SRC = os.path.join(REPO_ROOT, "src", "repro", "staticcheck")
 ARCHITECTURE_MD = os.path.join(REPO_ROOT, "docs", "architecture.md")
 
-PAYLOAD_KEYS = {"ok", "targets", "diagnostics"}
+PAYLOAD_KEYS = {"ok", "targets", "passes", "diagnostics"}
 TARGET_KEYS = {"name", "ok", "diagnostics"}
+PASS_KEYS = {"name", "seconds", "findings", "targets"}
 DIAGNOSTIC_KEYS = {"code", "message", "source", "line", "component", "severity"}
 REPORT_JSON_KEYS = {"ok", "errors", "warnings", "diagnostics"}
 
@@ -49,13 +50,23 @@ class TestCodeRegistry:
         missing = set(KNOWN_CODES) - documented
         assert not missing, "codes missing from docs/architecture.md: %s" % sorted(missing)
 
-    def test_registry_covers_all_five_pass_families(self):
+    def test_registry_covers_all_six_pass_families(self):
         families = {code[:4] for code in KNOWN_CODES}
-        assert families == {"RSC1", "RSC2", "RSC3", "RSC4", "RSC5"}
+        assert families == {"RSC1", "RSC2", "RSC3", "RSC4", "RSC5", "RSC6"}
 
     def test_descriptions_are_single_line(self):
         for code, description in KNOWN_CODES.items():
             assert description and "\n" not in description, code
+
+    def test_every_code_has_an_explanation(self):
+        from repro.staticcheck.explain import EXPLANATIONS, explain
+
+        assert set(EXPLANATIONS) == set(KNOWN_CODES)
+        for code, entry in EXPLANATIONS.items():
+            assert entry.rationale and entry.example, code
+            rendered = explain(code)
+            assert rendered is not None and rendered.startswith(code)
+        assert explain("RSC999") is None
 
 
 class TestJsonPayload:
@@ -66,6 +77,11 @@ class TestJsonPayload:
         assert payload["targets"]
         for target in payload["targets"]:
             assert set(target) == TARGET_KEYS
+        assert payload["passes"]
+        for pass_summary in payload["passes"]:
+            assert set(pass_summary) == PASS_KEYS
+            assert pass_summary["seconds"] >= 0
+        assert {p["name"] for p in payload["passes"]} == {"structure", "cuts"}
 
     def test_diagnostic_keys_stable(self, capsys):
         fixture = os.path.join(HERE, "fixtures", "flow_bad.py")

@@ -1,0 +1,151 @@
+"""The schedule-perturbation sanitizer: fingerprints, both failure
+codes, artifacts, and a real perturbed scenario run.
+
+The real tree is expected to *pass* the sanitizer (that is the point of
+PR-5's invariants), so the RSC610/RSC611 paths are exercised by
+substituting a crashing / nondeterministic ``run_bench`` — the
+substitution happens at the module seam the sanitizer actually calls
+through.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.result import ScenarioResult
+from repro.staticcheck.concurrency import (
+    SanitizerConfig,
+    fingerprint,
+    run_sanitizer,
+)
+from repro.staticcheck.concurrency import sanitize as sanitize_module
+from repro.staticcheck.concurrency.sanitize import WALL_CLOCK_METRICS, _diff_keys
+from repro.staticcheck.diagnostics import Severity
+
+
+def _result(events=100, extra_metrics=None):
+    metrics = {"hops_per_token": 3.5, "scan_ops_per_sec": 123456.0}
+    metrics.update(extra_metrics or {})
+    return ScenarioResult(
+        name="synthetic",
+        ops_per_sec=999.0,
+        events=events,
+        metrics=metrics,
+    )
+
+
+class TestFingerprint:
+    def test_excludes_wall_clock_metrics(self):
+        print_ = fingerprint(_result())
+        assert print_["name"] == "synthetic"
+        assert print_["events"] == 100
+        assert "scan_ops_per_sec" not in print_["metrics"]
+        assert print_["metrics"]["hops_per_token"] == 3.5
+
+    def test_wall_clock_variation_does_not_diverge(self):
+        first = fingerprint(_result(extra_metrics={"scan_ops_per_sec": 1.0}))
+        second = fingerprint(_result(extra_metrics={"scan_ops_per_sec": 2.0}))
+        assert first == second
+
+    def test_diff_keys_names_what_moved(self):
+        first = fingerprint(_result(events=100))
+        second = fingerprint(
+            _result(events=101, extra_metrics={"hops_per_token": 4.0})
+        )
+        assert _diff_keys(first, second) == ["events", "metrics.hops_per_token"]
+
+    def test_every_wall_clock_key_is_a_known_bench_metric_name(self):
+        # Guard against typos silently re-including a wall-clock metric.
+        assert WALL_CLOCK_METRICS == {
+            "scan_ops_per_sec",
+            "speedup_vs_scan",
+            "batches_per_sec",
+        }
+
+
+class TestFailurePaths:
+    def test_crash_yields_rsc610_and_artifact(self, tmp_path, monkeypatch):
+        def exploding_bench(profile, seed, only=None):
+            raise RuntimeError("conservation violated: 3 tokens lost")
+
+        monkeypatch.setattr(sanitize_module, "run_bench", exploding_bench)
+        config = SanitizerConfig(
+            seeds=(7,),
+            scenarios=["inject_to_retire"],
+            artifact_dir=str(tmp_path / "artifacts"),
+        )
+        report, outcome = run_sanitizer(config)
+        assert [d.code for d in report.diagnostics] == ["RSC610"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.component == "RSC610 smoke:inject_to_retire:seed7"
+        assert "conservation violated" in diagnostic.message
+        assert outcome.runs == 1
+        assert outcome.failures == 1
+        assert len(outcome.artifacts) == 1
+        with open(outcome.artifacts[0], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["perturbation_seed"] == 7
+        assert "conservation violated" in payload["error"]
+        assert "traceback" in payload
+
+    def test_nondeterminism_yields_rsc611_with_diffed_keys(
+        self, tmp_path, monkeypatch
+    ):
+        calls = {"count": 0}
+
+        def flaky_bench(profile, seed, only=None):
+            calls["count"] += 1
+            return [_result(events=100 + calls["count"])]
+
+        monkeypatch.setattr(sanitize_module, "run_bench", flaky_bench)
+        config = SanitizerConfig(
+            seeds=(1,),
+            scenarios=["inject_to_retire"],
+            artifact_dir=str(tmp_path / "artifacts"),
+        )
+        report, outcome = run_sanitizer(config)
+        assert [d.code for d in report.diagnostics] == ["RSC611"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.component == "RSC611 smoke:inject_to_retire:seed1"
+        assert "events" in diagnostic.message
+        assert calls["count"] == 2  # each (scenario, seed) pair runs twice
+        with open(outcome.artifacts[0], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["diverged_keys"] == ["events"]
+        assert payload["first"]["events"] == 101
+        assert payload["second"]["events"] == 102
+
+    def test_unwritable_artifact_dir_does_not_mask_the_finding(
+        self, tmp_path, monkeypatch
+    ):
+        def exploding_bench(profile, seed, only=None):
+            raise RuntimeError("boom")
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("a file where the artifact dir should go\n")
+        monkeypatch.setattr(sanitize_module, "run_bench", exploding_bench)
+        config = SanitizerConfig(
+            seeds=(1,),
+            scenarios=["inject_to_retire"],
+            artifact_dir=str(blocker),
+        )
+        report, outcome = run_sanitizer(config)
+        assert [d.code for d in report.diagnostics] == ["RSC610"]
+        assert outcome.artifacts == []
+
+
+class TestRealScenario:
+    def test_perturbed_inject_to_retire_is_green(self, tmp_path):
+        config = SanitizerConfig(
+            seeds=(1,),
+            scenarios=["inject_to_retire"],
+            artifact_dir=str(tmp_path / "artifacts"),
+        )
+        report, outcome = run_sanitizer(config)
+        assert report.ok, report.format()
+        assert outcome.runs == 1
+        assert outcome.failures == 0
+        assert outcome.artifacts == []
+        assert not os.path.exists(config.artifact_dir)
