@@ -155,7 +155,7 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
 
     system = AdaptiveCountingSystem(width=width, seed=seed, initial_nodes=nodes)
     system.converge()
-    events_before = system.sim.events_run
+    events_before = system.sim.events_run.get()
 
     start = time.perf_counter()
     churn_flip = True
@@ -175,18 +175,18 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
     metrics = {
         "width": width,
         "nodes": system.num_nodes,
-        "retired": stats.retired,
-        "dropped": stats.dropped,
+        "retired": stats.retired.get(),
+        "dropped": stats.dropped.get(),
         "mean_hops": stats.mean_hops,
         "mean_sim_latency": stats.mean_latency,
         "crashes": system.stats.crashes,
-        "messages_sent": system.bus.messages_sent,
+        "messages_sent": system.bus.messages_sent.get(),
     }
     metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="inject_to_retire",
-        ops_per_sec=stats.retired / elapsed,
-        events=system.sim.events_run - events_before,
+        ops_per_sec=stats.retired.get() / elapsed,
+        events=system.sim.events_run.get() - events_before,
         metrics=metrics,
     )
 
@@ -219,7 +219,7 @@ def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
 
     system = AdaptiveCountingSystem(width=width, seed=seed, initial_nodes=nodes)
     system.converge()
-    events_before = system.sim.events_run
+    events_before = system.sim.events_run.get()
 
     # The membership trace is seeded independently of the system RNG so
     # changing workload parameters never perturbs node placement.
@@ -258,18 +258,18 @@ def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
         "nodes": system.num_nodes,
         "joins": joins,
         "crashes": crashes,
-        "retired": stats.retired,
-        "dropped": stats.dropped,
+        "retired": stats.retired.get(),
+        "dropped": stats.dropped.get(),
         "mean_hops": stats.mean_hops,
         "mean_sim_latency": stats.mean_latency,
-        "messages_sent": system.bus.messages_sent,
+        "messages_sent": system.bus.messages_sent.get(),
         "sim_time": system.sim.now,
     }
     metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="large_churn",
-        ops_per_sec=stats.retired / elapsed,
-        events=system.sim.events_run - events_before,
+        ops_per_sec=stats.retired.get() / elapsed,
+        events=system.sim.events_run.get() - events_before,
         metrics=metrics,
     )
 
@@ -295,7 +295,7 @@ def bench_converge(params: Dict, seed: int) -> ScenarioResult:
     return ScenarioResult(
         name="converge",
         ops_per_sec=nodes / elapsed,
-        events=system.sim.events_run,
+        events=system.sim.events_run.get(),
         metrics={
             "width": width,
             "nodes": nodes,

@@ -16,6 +16,7 @@ import random
 from typing import Dict, Iterator, List, Optional
 
 from repro.chord.identifiers import IdentifierSpace
+from repro.core.atomics import AtomicCounter
 from repro.errors import MembershipError, RingError
 
 
@@ -45,7 +46,7 @@ class ChordRing:
         self.rng = random.Random(seed)
         self._ids: List[int] = []
         self._nodes: Dict[int, ChordNode] = {}
-        self._join_counter = 0
+        self._join_counter = AtomicCounter()  # repro: owned-by: shared
         #: Bumped on every membership change; derived structures (the
         #: finger-table cache below, external memos) key off it.
         self._version = 0
@@ -92,9 +93,9 @@ class ChordRing:
             self.space.check(node_id)
             if node_id in self._nodes:
                 raise MembershipError("node id %#x already on the ring" % node_id)
+        joined = self._join_counter.fetch_increment()
         if name is None:
-            name = "node-%d" % self._join_counter
-        self._join_counter += 1
+            name = "node-%d" % joined
         node = ChordNode(node_id, name)
         bisect.insort(self._ids, node_id)
         self._nodes[node_id] = node

@@ -232,9 +232,14 @@ def cmd_check(args) -> int:
             concurrency_paths=args.concurrency_paths,
             concurrency_baseline=args.concurrency_baseline,
             update_concurrency_baseline=args.update_concurrency_baseline,
+            allow_baseline_growth=args.allow_baseline_growth,
+            ownership=args.ownership,
+            ownership_paths=args.ownership_paths,
+            thread_ready=args.thread_ready,
             sanitize_seeds=sanitize_seeds,
             sanitize_profile=args.sanitize_profile,
             sanitize_jitter=args.sanitize_jitter,
+            sanitize_scenarios=args.sanitize_scenarios,
         )
     except StructureError as exc:
         print("repro check: error: %s" % exc, file=sys.stderr)
@@ -497,6 +502,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from this run's findings, then apply it",
     )
     check.add_argument(
+        "--allow-baseline-growth",
+        action="store_true",
+        help="let --update-concurrency-baseline add new entries (the "
+        "drained baseline refuses to grow back without this)",
+    )
+    check.add_argument(
+        "--ownership",
+        action="store_true",
+        help="run the Pass-7 ownership/lock-discipline rules (RSC70x)",
+    )
+    check.add_argument(
+        "--ownership-paths",
+        nargs="+",
+        metavar="PATH",
+        default=None,
+        help="files/directories for Pass 7 instead of the default runtime packages",
+    )
+    check.add_argument(
+        "--thread-ready",
+        action="store_true",
+        help="composite thread-readiness gate: strict Pass 6 (no baseline "
+        "demotion, non-empty baseline is an error) + Pass 7 + the "
+        "schedule-perturbation sanitizer",
+    )
+    check.add_argument(
         "--sanitize",
         nargs="?",
         const=1,
@@ -519,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["smoke", "small", "large"],
         default="smoke",
         help="bench profile the sanitizer re-executes (default smoke)",
+    )
+    check.add_argument(
+        "--sanitize-scenarios",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="restrict the sanitizer to these bench scenarios (default: "
+        "every scenario of the profile)",
     )
     check.add_argument(
         "--sanitize-jitter",

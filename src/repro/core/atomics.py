@@ -1,0 +1,724 @@
+"""Atomic counter facades for the thread-readiness contract (Pass 7).
+
+Every compound read-modify-write that Pass 6 flagged as RSC602 —
+``self.count += 1``, ``self.output_counts[w] += 1``, toggled bits,
+keyed in-flight ledgers — is a load, an op, and a store that only the
+single-threaded event loop keeps atomic. The ROADMAP's threads backend
+removes that accident, so shared counter state routes through the small
+facades in this module instead: one named call site (``increment``,
+``fetch_increment``, ``flip``, ``post``/``settle``) that a backend can
+make genuinely atomic.
+
+Two flavors exist:
+
+* the **single-thread** flavor (the classes below) is a plain-Python
+  facade with no synchronization — byte-identical arithmetic to the
+  raw-int code it replaced, and cheap enough for the simulator's hot
+  path;
+* the **locked** flavor (``Locked*``) wraps every mutation in a
+  ``threading.Lock`` — the conservative implementation a shared-memory
+  backend starts from.
+
+Backends select a flavor through :func:`flavor` /
+:class:`AtomicsFlavor` rather than naming classes, so swapping the
+whole family is one constructor argument.
+
+The facades deliberately implement the arithmetic/comparison protocol
+(``int(c)``, ``c == 5``, ``c - other``, iteration for the per-wire
+family), so read sites — step-property checks, benchmarks, tests —
+keep treating them as the numbers they wrap. Mutation, however, only
+happens through the named methods: Pass 7 (RSC704) flags direct pokes
+at the internals.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+Number = Union[int, float]
+
+
+class AtomicCounter:
+    """A single integer counter behind named atomic operations.
+
+    ``increment``/``decrement`` return the *new* value;
+    ``fetch_increment`` returns the *prior* value (the classic
+    fetch-and-add, which is how counting networks hand out values).
+    The counter compares and does arithmetic like the int it wraps.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = int(initial)
+
+    # -- named mutations ------------------------------------------------
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount``; return the new value."""
+        value = self._value + amount
+        self._value = value
+        return value
+
+    def fetch_increment(self, amount: int = 1) -> int:
+        """Add ``amount``; return the value *before* the add."""
+        value = self._value
+        self._value = value + amount
+        return value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount``; return the new value."""
+        value = self._value - amount
+        self._value = value
+        return value
+
+    def get(self) -> int:
+        return self._value
+
+    def set(self, value: int) -> None:
+        self._value = int(value)
+
+    # -- int facade -----------------------------------------------------
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AtomicCounter):
+            return self._value == other._value
+        if isinstance(other, (int, float)):
+            return self._value == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: Any) -> bool:
+        return self._value < _as_number(other)
+
+    def __le__(self, other: Any) -> bool:
+        return self._value <= _as_number(other)
+
+    def __gt__(self, other: Any) -> bool:
+        return self._value > _as_number(other)
+
+    def __ge__(self, other: Any) -> bool:
+        return self._value >= _as_number(other)
+
+    def __add__(self, other: Any) -> Number:
+        return self._value + _as_number(other)
+
+    def __radd__(self, other: Any) -> Number:
+        return _as_number(other) + self._value
+
+    def __sub__(self, other: Any) -> Number:
+        return self._value - _as_number(other)
+
+    def __rsub__(self, other: Any) -> Number:
+        return _as_number(other) - self._value
+
+    def __mul__(self, other: Any) -> Number:
+        return self._value * _as_number(other)
+
+    def __rmul__(self, other: Any) -> Number:
+        return _as_number(other) * self._value
+
+    def __truediv__(self, other: Any) -> float:
+        return self._value / _as_number(other)
+
+    def __rtruediv__(self, other: Any) -> float:
+        return _as_number(other) / self._value
+
+    def __floordiv__(self, other: Any) -> Number:
+        return self._value // _as_number(other)
+
+    def __mod__(self, other: Any) -> Number:
+        return self._value % _as_number(other)
+
+    def __iadd__(self, other: int) -> "AtomicCounter":
+        # `c += n` rebinds to the same object after one atomic add, so
+        # legacy augmented-assignment call sites stay correct.
+        self.increment(int(other))
+        return self
+
+    def __isub__(self, other: int) -> "AtomicCounter":
+        self.decrement(int(other))
+        return self
+
+    def __neg__(self) -> int:
+        return -self._value
+
+    def __hash__(self) -> int:
+        # Identity hash: the value mutates, so value-hashing would
+        # corrupt any container holding the counter across an update.
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return "%s(%d)" % (type(self).__name__, self._value)
+
+
+class LockedAtomicCounter(AtomicCounter):
+    """:class:`AtomicCounter` with every mutation under a lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: int = 0) -> None:
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            return super().increment(amount)
+
+    def fetch_increment(self, amount: int = 1) -> int:
+        with self._lock:
+            return super().fetch_increment(amount)
+
+    def decrement(self, amount: int = 1) -> int:
+        with self._lock:
+            return super().decrement(amount)
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            super().set(value)
+
+
+class PerWireCounters:
+    """A fixed-width array of counters (one per output wire).
+
+    Iteration, indexing, ``len`` and equality against plain sequences
+    all behave like the ``[0] * width`` list this replaces, so step-
+    property checks and tests read it unchanged; writes go through
+    ``increment``/``fetch_increment``/``decrement``.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, width_or_values: Union[int, Iterable[int]]) -> None:
+        if isinstance(width_or_values, int):
+            self._values = [0] * width_or_values
+        else:
+            self._values = [int(v) for v in width_or_values]
+
+    # -- named mutations ------------------------------------------------
+    def increment(self, index: int, amount: int = 1) -> int:
+        value = self._values[index] + amount
+        self._values[index] = value
+        return value
+
+    def fetch_increment(self, index: int, amount: int = 1) -> int:
+        value = self._values[index]
+        self._values[index] = value + amount
+        return value
+
+    def decrement(self, index: int, amount: int = 1) -> int:
+        value = self._values[index] - amount
+        self._values[index] = value
+        return value
+
+    def get(self, index: int) -> int:
+        return self._values[index]
+
+    def set(self, index: int, value: int) -> None:
+        self._values[index] = int(value)
+
+    def reset(self, values: Optional[Iterable[int]] = None) -> None:
+        if values is None:
+            self._values = [0] * len(self._values)
+        else:
+            self._values = [int(v) for v in values]
+
+    def snapshot(self) -> List[int]:
+        return list(self._values)
+
+    # -- sequence facade ------------------------------------------------
+    def __getitem__(self, index: int) -> int:
+        return self._values[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        # Present for drop-in sequence compatibility (tests mutate the
+        # raw counts); analyzed code uses the named methods instead.
+        self._values[index] = int(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PerWireCounters):
+            return self._values == other._values
+        if isinstance(other, (list, tuple)):
+            return self._values == list(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self._values)
+
+
+class LockedPerWireCounters(PerWireCounters):
+    """:class:`PerWireCounters` with mutations and snapshots locked."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, width_or_values: Union[int, Iterable[int]]) -> None:
+        super().__init__(width_or_values)
+        self._lock = threading.Lock()
+
+    def increment(self, index: int, amount: int = 1) -> int:
+        with self._lock:
+            return super().increment(index, amount)
+
+    def fetch_increment(self, index: int, amount: int = 1) -> int:
+        with self._lock:
+            return super().fetch_increment(index, amount)
+
+    def decrement(self, index: int, amount: int = 1) -> int:
+        with self._lock:
+            return super().decrement(index, amount)
+
+    def set(self, index: int, value: int) -> None:
+        with self._lock:
+            super().set(index, value)
+
+    def reset(self, values: Optional[Iterable[int]] = None) -> None:
+        with self._lock:
+            super().reset(values)
+
+    def snapshot(self) -> List[int]:
+        with self._lock:
+            return super().snapshot()
+
+
+class ToggleBit:
+    """A balancer's toggle: ``flip()`` returns the prior bit and
+    toggles. ``wire = toggle.flip()`` is exactly the old
+    ``bit = toggles[i] % 2; toggles[i] += 1`` pair."""
+
+    __slots__ = ("_bit",)
+
+    def __init__(self, initial: int = 0) -> None:
+        self._bit = int(initial) & 1
+
+    def flip(self) -> int:
+        """Toggle; return the bit *before* the flip."""
+        bit = self._bit
+        self._bit = bit ^ 1
+        return bit
+
+    def read(self) -> int:
+        return self._bit
+
+    def set(self, bit: int) -> None:
+        self._bit = int(bit) & 1
+
+    def __repr__(self) -> str:
+        return "%s(%d)" % (type(self).__name__, self._bit)
+
+
+class LockedToggleBit(ToggleBit):
+    """:class:`ToggleBit` with the flip under a lock."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: int = 0) -> None:
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def flip(self) -> int:
+        with self._lock:
+            return super().flip()
+
+    def set(self, bit: int) -> None:
+        with self._lock:
+            super().set(bit)
+
+
+class TokenLedger(Generic[K]):
+    """Keyed integer balances (owed tokens, in-flight counts, toggles).
+
+    ``post`` adds to a key's balance, ``settle`` subtracts, and a
+    balance that settles to zero is dropped — matching the sparse
+    ``dict.get(k, 0) + 1`` / ``del`` idiom it replaces. ``fetch_post``
+    is the keyed fetch-and-add.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, initial: Optional[Mapping[K, int]] = None) -> None:
+        self._entries: Dict[K, int] = dict(initial) if initial else {}
+
+    # -- named mutations ------------------------------------------------
+    def post(self, key: K, amount: int = 1) -> int:
+        """Add ``amount`` to ``key``'s balance; return the new balance."""
+        value = self._entries.get(key, 0) + amount
+        if value:
+            self._entries[key] = value
+        else:
+            self._entries.pop(key, None)
+        return value
+
+    def fetch_post(self, key: K, amount: int = 1) -> int:
+        """Add ``amount`` to ``key``'s balance; return the prior one."""
+        value = self._entries.get(key, 0)
+        new = value + amount
+        if new:
+            self._entries[key] = new
+        else:
+            self._entries.pop(key, None)
+        return value
+
+    def settle(self, key: K, amount: int = 1) -> int:
+        """Subtract ``amount`` from ``key``'s balance; return the new
+        balance. A zero balance drops the entry."""
+        # Inlined post(key, -amount): settle is on the per-hop hot path.
+        entries = self._entries
+        value = entries.get(key, 0) - amount
+        if value:
+            entries[key] = value
+        else:
+            entries.pop(key, None)
+        return value
+
+    def clear_balance(self, key: K) -> int:
+        """Drop ``key`` entirely; return the balance it had."""
+        return self._entries.pop(key, 0)
+
+    def reset(self) -> None:
+        self._entries = {}
+
+    def reader(self) -> Callable[..., Any]:
+        """A bound, C-level read callable (``dict.get``) for hot paths.
+
+        Reading one key is atomic under the GIL in every flavor, so the
+        reader is safe to hoist and call lock-free; it must never be
+        used to mutate. Missing keys read as ``None`` (the raw
+        ``dict.get`` default), unlike :meth:`get`'s 0. A hoisted reader
+        observes the dict it was created from: :meth:`reset` swaps the
+        underlying dict and invalidates previously handed-out readers.
+        """
+        return self._entries.get
+
+    # -- mapping facade -------------------------------------------------
+    def balance(self, key: K) -> int:
+        return self._entries.get(key, 0)
+
+    def get(self, key: K, default: int = 0) -> int:
+        return self._entries.get(key, default)
+
+    def snapshot(self) -> Dict[K, int]:
+        return dict(self._entries)
+
+    def keys(self) -> Iterable[K]:
+        return self._entries.keys()
+
+    def items(self) -> Iterable[Tuple[K, int]]:
+        return self._entries.items()
+
+    def values(self) -> Iterable[int]:
+        return self._entries.values()
+
+    def __getitem__(self, key: K) -> int:
+        return self._entries[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TokenLedger):
+            return self._entries == other._entries
+        if isinstance(other, dict):
+            return self._entries == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self._entries)
+
+
+class LockedTokenLedger(TokenLedger[K]):
+    """:class:`TokenLedger` with mutations and snapshots locked."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: Optional[Mapping[K, int]] = None) -> None:
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def post(self, key: K, amount: int = 1) -> int:
+        with self._lock:
+            return super().post(key, amount)
+
+    def fetch_post(self, key: K, amount: int = 1) -> int:
+        with self._lock:
+            return super().fetch_post(key, amount)
+
+    def settle(self, key: K, amount: int = 1) -> int:
+        with self._lock:
+            return super().settle(key, amount)
+
+    def clear_balance(self, key: K) -> int:
+        with self._lock:
+            return super().clear_balance(key)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+    def snapshot(self) -> Dict[K, int]:
+        with self._lock:
+            return super().snapshot()
+
+
+class GuardedMap(Generic[K, V]):
+    """A keyed object map whose mutations are two named operations:
+    ``put`` (insert/replace) and ``take`` (remove-and-return). Used for
+    pending-RPC continuations and the cut network's live component
+    states, where Pass 6 flagged raw ``d[k] = v`` / ``d.pop(k)`` pairs.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, initial: Optional[Mapping[K, V]] = None) -> None:
+        self._entries: Dict[K, V] = dict(initial) if initial else {}
+
+    # -- named mutations ------------------------------------------------
+    def put(self, key: K, value: V) -> None:
+        self._entries[key] = value
+
+    def take(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Remove ``key``; return its value (or ``default``)."""
+        return self._entries.pop(key, default)
+
+    def ensure(self, key: K, factory: Callable[[], V]) -> V:
+        """Return ``key``'s value, creating it via ``factory`` first if
+        absent (an explicit, lockable ``setdefault``)."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            value = factory()
+            self._entries[key] = value
+            return value
+
+    def reset(self, initial: Optional[Mapping[K, V]] = None) -> None:
+        self._entries = dict(initial) if initial else {}
+
+    def reader(self) -> Callable[..., Any]:
+        """A bound, C-level read callable (``dict.get``) for hot paths;
+        see :meth:`TokenLedger.reader`. Never use it to mutate."""
+        return self._entries.get
+
+    # -- mapping facade -------------------------------------------------
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        return self._entries.get(key, default)
+
+    def snapshot(self) -> Dict[K, V]:
+        return dict(self._entries)
+
+    def keys(self) -> Iterable[K]:
+        return self._entries.keys()
+
+    def values(self) -> Iterable[V]:
+        return self._entries.values()
+
+    def items(self) -> Iterable[Tuple[K, V]]:
+        return self._entries.items()
+
+    def __getitem__(self, key: K) -> V:
+        return self._entries[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GuardedMap):
+            return self._entries == other._entries
+        if isinstance(other, dict):
+            return self._entries == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self._entries)
+
+
+class LockedGuardedMap(GuardedMap[K, V]):
+    """:class:`GuardedMap` with mutations and snapshots locked."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: Optional[Mapping[K, V]] = None) -> None:
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def put(self, key: K, value: V) -> None:
+        with self._lock:
+            super().put(key, value)
+
+    def take(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        with self._lock:
+            return super().take(key, default)
+
+    def ensure(self, key: K, factory: Callable[[], V]) -> V:
+        with self._lock:
+            return super().ensure(key, factory)
+
+    def reset(self, initial: Optional[Mapping[K, V]] = None) -> None:
+        with self._lock:
+            super().reset(initial)
+
+    def snapshot(self) -> Dict[K, V]:
+        with self._lock:
+            return super().snapshot()
+
+
+@dataclass(frozen=True)
+class AtomicsFlavor:
+    """One selectable family of atomic facades.
+
+    A backend picks a flavor once (``flavor("locked")``) and constructs
+    every counter through it; the event-loop backend uses the single-
+    thread family, a shared-memory backend the locked one.
+    """
+
+    name: str
+    counter: Type[AtomicCounter]
+    per_wire: Type[PerWireCounters]
+    toggle: Type[ToggleBit]
+    ledger: Type[TokenLedger]
+    guarded_map: Type[GuardedMap]
+
+
+SINGLE_THREAD = AtomicsFlavor(
+    name="single-thread",
+    counter=AtomicCounter,
+    per_wire=PerWireCounters,
+    toggle=ToggleBit,
+    ledger=TokenLedger,
+    guarded_map=GuardedMap,
+)
+
+LOCKED = AtomicsFlavor(
+    name="locked",
+    counter=LockedAtomicCounter,
+    per_wire=LockedPerWireCounters,
+    toggle=LockedToggleBit,
+    ledger=LockedTokenLedger,
+    guarded_map=LockedGuardedMap,
+)
+
+FLAVORS: Dict[str, AtomicsFlavor] = {
+    SINGLE_THREAD.name: SINGLE_THREAD,
+    LOCKED.name: LOCKED,
+}
+
+
+def flavor(name: str) -> AtomicsFlavor:
+    """Look up a flavor by name (``single-thread`` or ``locked``)."""
+    try:
+        return FLAVORS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown atomics flavor %r (choose from %s)"
+            % (name, ", ".join(sorted(FLAVORS)))
+        ) from None
+
+
+def _as_number(other: Any) -> Number:
+    if isinstance(other, AtomicCounter):
+        return other._value
+    if isinstance(other, (int, float)):
+        return other
+    raise TypeError(
+        "expected an int, float or AtomicCounter, got %r" % type(other).__name__
+    )
+
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicsFlavor",
+    "FLAVORS",
+    "GuardedMap",
+    "LOCKED",
+    "LockedAtomicCounter",
+    "LockedGuardedMap",
+    "LockedPerWireCounters",
+    "LockedToggleBit",
+    "LockedTokenLedger",
+    "PerWireCounters",
+    "SINGLE_THREAD",
+    "ToggleBit",
+    "TokenLedger",
+    "flavor",
+]

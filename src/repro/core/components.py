@@ -23,8 +23,9 @@ exactly the paper's mod-k counter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
+from repro.core.atomics import AtomicCounter
 from repro.core.decomposition import ComponentSpec
 from repro.errors import StructureError
 
@@ -64,7 +65,6 @@ def balanced_sum(total: int, width: int, wires) -> int:
     return sum(base + (1 if wire < rem else 0) for wire in wires)
 
 
-@dataclass
 class ComponentState:
     """Mutable runtime state of one live component.
 
@@ -73,11 +73,31 @@ class ComponentState:
     port (sparse; ports with zero arrivals are absent). The paper's
     counter is ``x = total % spec.width``; the route of the next token
     is a pure function of ``total``.
+
+    The traversal counter lives behind an :class:`AtomicCounter` (the
+    thread-readiness contract); ``total`` stays a plain-int property so
+    split/merge replay, audits and tests keep exact-integer semantics.
     """
 
-    spec: ComponentSpec
-    total: int = 0
-    arrivals: Dict[int, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        spec: ComponentSpec,
+        total: int = 0,
+        arrivals: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.spec = spec
+        # repro: owned-by: shared
+        self._traversed = AtomicCounter(int(total))
+        self.arrivals: Dict[int, int] = dict(arrivals) if arrivals else {}
+
+    @property
+    def total(self) -> int:
+        """Exact number of tokens that have traversed the component."""
+        return self._traversed.get()
+
+    @total.setter
+    def total(self, value: int) -> None:
+        self._traversed.set(int(value))
 
     @property
     def width(self) -> int:
@@ -86,7 +106,7 @@ class ComponentState:
     @property
     def x(self) -> int:
         """The paper's counter: the wire the next token will exit on."""
-        return self.total % self.width
+        return self._traversed.get() % self.width
 
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.width:
@@ -97,8 +117,7 @@ class ComponentState:
     def route_token(self, in_port: int) -> int:
         """Consume one token arriving on ``in_port``; return its exit wire."""
         self._check_port(in_port)
-        wire = self.total % self.width
-        self.total += 1
+        wire = self._traversed.fetch_increment() % self.width
         self.arrivals[in_port] = self.arrivals.get(in_port, 0) + 1
         return wire
 
@@ -115,8 +134,8 @@ class ComponentState:
             if n < 0:
                 raise StructureError("negative token count on port %d" % port)
             count += n
-        counts = balanced_counts(self.total % self.width, count, self.width)
-        self.total += count
+        start = self._traversed.fetch_increment(count) % self.width
+        counts = balanced_counts(start, count, self.width)
         for port, n in port_counts.items():
             if n:
                 self.arrivals[port] = self.arrivals.get(port, 0) + n
@@ -128,6 +147,25 @@ class ComponentState:
 
     def copy(self) -> "ComponentState":
         return ComponentState(self.spec, self.total, dict(self.arrivals))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComponentState):
+            return NotImplemented
+        return (
+            self.spec == other.spec
+            and self.total == other.total
+            and self.arrivals == other.arrivals
+        )
+
+    # Mutable, like the dataclass it replaced: equality without hashing.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return "ComponentState(spec=%r, total=%r, arrivals=%r)" % (
+            self.spec,
+            self.total,
+            self.arrivals,
+        )
 
 
 @dataclass

@@ -14,6 +14,7 @@ from __future__ import annotations
 import random
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.atomics import AtomicCounter, GuardedMap, PerWireCounters
 from repro.core.components import ComponentState, TokenTrace, balanced_counts
 from repro.core.decomposition import ComponentSpec, DecompositionTree
 from repro.core.splitmerge import merge_child_states, split_child_states
@@ -207,12 +208,13 @@ class CutNetwork:
         self.tree = cut.tree
         self.width = cut.tree.width
         self.wiring = wiring if wiring is not None else Wiring(cut.tree, convention)
-        self.states: Dict[Path, ComponentState] = {
-            spec.path: ComponentState(spec) for spec in cut.members()
-        }
-        self.output_counts: List[int] = [0] * self.width
-        self.tokens_in: int = 0
-        self.tokens_out: int = 0
+        # repro: owned-by: shared
+        self.states: GuardedMap[Path, ComponentState] = GuardedMap(
+            {spec.path: ComponentState(spec) for spec in cut.members()}
+        )
+        self.output_counts = PerWireCounters(self.width)  # repro: owned-by: shared
+        self.tokens_in = AtomicCounter()  # repro: owned-by: shared
+        self.tokens_out = AtomicCounter()  # repro: owned-by: shared
         self._edges: Dict[Tuple[Path, int], Tuple] = {}
         self._input_map: Dict[int, Tuple[Path, int]] = {}
         self._topo_cache: Optional[List[Path]] = None
@@ -321,7 +323,7 @@ class CutNetwork:
         """
         if not 0 <= wire < self.width:
             raise StructureError("input wire %d out of range" % wire)
-        self.tokens_in += 1
+        self.tokens_in.increment()
         path, port = self._input(wire)
         while True:
             state = self.states[path]
@@ -331,9 +333,8 @@ class CutNetwork:
             dest = self._edge(path, out_port)
             if dest[0] == "out":
                 out_wire = dest[1]
-                value = self.output_counts[out_wire] * self.width + out_wire
-                self.output_counts[out_wire] += 1
-                self.tokens_out += 1
+                value = self.output_counts.fetch_increment(out_wire) * self.width + out_wire
+                self.tokens_out.increment()
                 if trace is not None:
                     trace.output_wire = out_wire
                     trace.value = value
@@ -377,10 +378,10 @@ class CutNetwork:
                     _, succ, in_port = dest
                     pending[succ][in_port] = pending[succ].get(in_port, 0) + emitted
         for wire, count in enumerate(batch_out):
-            self.output_counts[wire] += count
+            self.output_counts.increment(wire, count)
         total = sum(input_counts)
-        self.tokens_in += total
-        self.tokens_out += total
+        self.tokens_in.increment(total)
+        self.tokens_out.increment(total)
         return batch_out
 
     def verify_step_property(self) -> None:
@@ -402,10 +403,10 @@ class CutNetwork:
         if spec.is_leaf:
             raise InvalidCutError("cannot split the balancer %s" % (spec,))
         children = split_child_states(self.wiring, spec, state.arrivals)
-        del self.states[path]
+        self.states.take(path)
         new_paths = []
         for child_state in children:
-            self.states[child_state.spec.path] = child_state
+            self.states.put(child_state.spec.path, child_state)
             new_paths.append(child_state.spec.path)
         self._invalidate()
         return new_paths
@@ -424,8 +425,8 @@ class CutNetwork:
             self.wiring, spec, [self.states[p] for p in child_paths]
         )
         for p in child_paths:
-            del self.states[p]
-        self.states[path] = merged
+            self.states.take(p)
+        self.states.put(path, merged)
         self._invalidate()
         return path
 

@@ -17,8 +17,7 @@ exactly the contrast the paper draws in Section 1.3.
 
 from __future__ import annotations
 
-from typing import List
-
+from repro.core.atomics import AtomicCounter, PerWireCounters, ToggleBit
 from repro.errors import StructureError
 
 
@@ -32,9 +31,10 @@ class CountingTree:
         self.num_leaves = 1 << depth
         # Toggles stored as a heap-shaped array: node 1 is the root,
         # node n has children 2n and 2n+1.
-        self._toggles = [0] * (self.num_leaves)
-        self.leaf_counts = [0] * self.num_leaves
-        self.tokens = 0
+        # repro: owned-by: shared
+        self._toggles = [ToggleBit() for _ in range(self.num_leaves)]
+        self.leaf_counts = PerWireCounters(self.num_leaves)  # repro: owned-by: shared
+        self.tokens = AtomicCounter()  # repro: owned-by: shared
 
     def next_value(self) -> int:
         """Route one token from the root; return its counter value.
@@ -47,14 +47,12 @@ class CountingTree:
         """
         node = 1
         for _ in range(self.depth):
-            bit = self._toggles[node] % 2
-            self._toggles[node] += 1
+            bit = self._toggles[node].flip()
             node = 2 * node + bit
         position = node - self.num_leaves
         label = self._bit_reverse(position)
-        value = self.leaf_counts[label] * self.num_leaves + label
-        self.leaf_counts[label] += 1
-        self.tokens += 1
+        value = self.leaf_counts.fetch_increment(label) * self.num_leaves + label
+        self.tokens.increment()
         return value
 
     def _bit_reverse(self, position: int) -> int:
@@ -74,12 +72,10 @@ class CentralCounter:
     """The trivial baseline: one counter on one node, zero parallelism."""
 
     def __init__(self):
-        self.tokens = 0
+        self.tokens = AtomicCounter()  # repro: owned-by: shared
 
     def next_value(self) -> int:
-        value = self.tokens
-        self.tokens += 1
-        return value
+        return self.tokens.fetch_increment()
 
     @property
     def width(self) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.atomics import PerWireCounters
 from repro.core.components import balanced_counts
 from repro.errors import StructureError
 
@@ -50,7 +51,7 @@ class BalancingNetwork:
         self._position = {wire: j for j, wire in enumerate(output_order)}
         # One toggle per balancer: tokens seen so far.
         self._toggles = [[0] * len(layer) for layer in self.layers]
-        self.output_counts = [0] * width
+        self.output_counts = PerWireCounters(width)  # repro: owned-by: shared
         # Per-layer routing tables: ``table[wire]`` is the balancer
         # touching ``wire`` in that layer (or None), so routing one
         # token is O(depth) instead of a scan over every balancer.
@@ -75,7 +76,7 @@ class BalancingNetwork:
     def reset(self) -> None:
         """Return every toggle and counter to the initial state."""
         self._toggles = [[0] * len(layer) for layer in self.layers]
-        self.output_counts = [0] * self.width
+        self.output_counts.reset()
 
     # ------------------------------------------------------------------
     # batch (quiescent) semantics
@@ -103,7 +104,7 @@ class BalancingNetwork:
                 on_wire[top], on_wire[bottom] = out_top, out_bottom
         batch = [on_wire[wire] for wire in self.output_order]
         for j, count in enumerate(batch):
-            self.output_counts[j] += count
+            self.output_counts.increment(j, count)
         return batch
 
     # ------------------------------------------------------------------
@@ -127,7 +128,7 @@ class BalancingNetwork:
             current = top if toggles[index] % 2 == 0 else bottom
             toggles[index] += 1
         position = self._position[current]
-        self.output_counts[position] += 1
+        self.output_counts.increment(position)
         return position
 
     def feed_token_scan(self, wire: int) -> int:
@@ -149,7 +150,7 @@ class BalancingNetwork:
                     current = top if exit_top else bottom
                     break
         position = self._position[current]
-        self.output_counts[position] += 1
+        self.output_counts.increment(position)
         return position
 
     # ------------------------------------------------------------------

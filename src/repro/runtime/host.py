@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chord.ring import ChordNode
+from repro.core.atomics import AtomicCounter
 from repro.core.components import ComponentState
 from repro.errors import ProtocolError
 from repro.runtime.tokens import Token, TokenMsg
@@ -44,7 +45,7 @@ class NodeHost(SimulatedProcess):
         self._edge_cache: Dict[Tuple[Path, int], Tuple] = {}
         self.cache_hits = 0
         self.cache_misses = 0
-        self.tokens_routed = 0
+        self.tokens_routed = AtomicCounter()  # repro: owned-by: shared
 
     @property
     def node_id(self) -> int:
@@ -114,7 +115,7 @@ class NodeHost(SimulatedProcess):
             return
         for port, token in items:
             out_port = state.route_token(port)
-            self.tokens_routed += 1
+            self.tokens_routed.increment()
             dest = self._edge(path, state, out_port)
             if dest[0] == "out":
                 system.retire_token(token, state, out_port, dest[1])

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.chord.hashing import name_to_point
 from repro.chord.ring import ChordRing
+from repro.core.atomics import AtomicCounter, PerWireCounters, TokenLedger
 from repro.core.diffracting import CountingTree
 from repro.core.network import BalancingNetwork
 from repro.errors import ProtocolError
@@ -41,7 +42,7 @@ class _Deployment:
         self.bus = MessageBus(self.sim, latency or ConstantLatency(1.0), service_time)
         self.rng = random.Random(seed + 1)
         self.token_stats = TokenStats()
-        self._token_counter = 0
+        self._token_counter = AtomicCounter()  # repro: owned-by: shared
         self._processes: Dict[int, "_ObjectHost"] = {}
         for _ in range(num_nodes):
             node = self.ring.join()
@@ -53,9 +54,8 @@ class _Deployment:
         return self.ring.successor(name_to_point(name, self.ring.space)).node_id
 
     def new_token(self, entry_wire: int) -> Token:
-        token = Token(self._token_counter, entry_wire, self.sim.now)
-        self._token_counter += 1
-        self.token_stats.issued += 1
+        token = Token(self._token_counter.fetch_increment(), entry_wire, self.sim.now)
+        self.token_stats.issued.increment()
         return token
 
     def retire(self, token: Token, wire: int, value: int) -> None:
@@ -106,9 +106,10 @@ class StaticBitonicDeployment(_Deployment):
                 mapping[top] = index
                 mapping[bottom] = index
             self._wire_to_balancer.append(mapping)
-        self._toggles: Dict[Tuple[int, int], int] = {}
+        # repro: owned-by: shared
+        self._toggles: TokenLedger[Tuple[int, int]] = TokenLedger()
         self._homes: Dict[Tuple[int, int], int] = {}
-        self.output_counts = [0] * self.width
+        self.output_counts = PerWireCounters(self.width)  # repro: owned-by: shared
         self._position = {wire: j for j, wire in enumerate(network.output_order)}
 
     @property
@@ -142,8 +143,7 @@ class StaticBitonicDeployment(_Deployment):
         stop = self._next_stop(layer, wire)
         if stop is None:
             position = self._position[wire]
-            value = self.output_counts[position] * self.width + position
-            self.output_counts[position] += 1
+            value = self.output_counts.fetch_increment(position) * self.width + position
             self.retire(token, position, value)
             return
         at, index = stop
@@ -153,8 +153,7 @@ class StaticBitonicDeployment(_Deployment):
     def handle(self, message) -> None:
         token, layer, index, wire = message
         key = (layer, index)
-        toggle = self._toggles.get(key, 0)
-        self._toggles[key] = toggle + 1
+        toggle = self._toggles.fetch_post(key)
         top, bottom = self.network.layers[layer][index]
         out_wire = top if toggle % 2 == 0 else bottom
         self._forward(token, layer + 1, out_wire)
@@ -166,7 +165,7 @@ class CentralCounterDeployment(_Deployment):
     def __init__(self, num_nodes: int, **kwargs):
         super().__init__(num_nodes, **kwargs)
         self._home = self.object_home("central-counter")
-        self._count = 0
+        self._count = AtomicCounter()  # repro: owned-by: shared
 
     @property
     def num_objects(self) -> int:
@@ -179,9 +178,7 @@ class CentralCounterDeployment(_Deployment):
         return token
 
     def handle(self, token) -> None:
-        value = self._count
-        self._count += 1
-        self.retire(token, 0, value)
+        self.retire(token, 0, self._count.fetch_increment())
 
 
 class CountingTreeDeployment(_Deployment):
@@ -216,12 +213,10 @@ class CountingTreeDeployment(_Deployment):
             # Leaf counter: hand out the value.
             position = tree_node - self.tree.num_leaves
             label = self.tree._bit_reverse(position)
-            value = self.tree.leaf_counts[label] * self.tree.num_leaves + label
-            self.tree.leaf_counts[label] += 1
+            value = self.tree.leaf_counts.fetch_increment(label) * self.tree.num_leaves + label
             self.retire(token, label, value)
             return
-        bit = self.tree._toggles[tree_node] % 2
-        self.tree._toggles[tree_node] += 1
+        bit = self.tree._toggles[tree_node].flip()
         child = 2 * tree_node + bit
         token.hops += 1
         self.bus.send(self._node_home(child), (token, child, level + 1), kind="token")

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.chord.ring import ChordNode, ChordRing
+from repro.core.atomics import AtomicCounter, PerWireCounters, TokenLedger
 from repro.core.components import ComponentState, balanced_count_at
 from repro.core.cut import Cut, CutNetwork
 from repro.core.decomposition import ComponentSpec, DecompositionTree
@@ -113,22 +114,24 @@ class AdaptiveCountingSystem:
         self._live_nodes: List[int] = []
         self.stats = SystemStats()
         self.token_stats = TokenStats()
-        self.injected_per_wire = [0] * width
-        self.output_counts = [0] * width
+        self.injected_per_wire = PerWireCounters(width)  # repro: owned-by: shared
+        self.output_counts = PerWireCounters(width)  # repro: owned-by: shared
         self.lost_components: Set[Path] = set()
-        self._inflight: Dict[Path, int] = {}
+        # repro: owned-by: shared
+        self._inflight: TokenLedger[Path] = TokenLedger()
         # Exact emitted-but-not-arrived accounting, used by crash
         # recovery: (path, port) -> tokens owed to that input. A token
         # stays owed across undeliverable bounces and retry waits, and
         # moves keys when rerouted, so ``Stabilizer.reconstruct`` can
         # subtract tokens its in-neighbours counted as departed that
         # have not actually arrived.
-        self._owed: Dict[Tuple[Path, int], int] = {}
+        # repro: owned-by: shared
+        self._owed: TokenLedger[Tuple[Path, int]] = TokenLedger()
         # Injected tokens whose input lookup failed and is pending a
         # retry, per network wire: counted in ``injected_per_wire`` but
         # not yet owed to any component.
-        self._inject_pending = [0] * width
-        self._token_counter = 0
+        self._inject_pending = PerWireCounters(width)  # repro: owned-by: shared
+        self._token_counter = AtomicCounter()  # repro: owned-by: shared
         self._next_wire = 0
         self._retire_callbacks: List[Callable[[Token], None]] = []
         self.combiner = (
@@ -237,10 +240,9 @@ class AdaptiveCountingSystem:
             self._next_wire = (self._next_wire + 1) % self.width
         if from_node is None and self._live_nodes:
             from_node = self.rng.choice(self._live_nodes)
-        token = Token(self._token_counter, wire, self.sim.now)
-        self._token_counter += 1
-        self.token_stats.issued += 1
-        self.injected_per_wire[wire] += 1
+        token = Token(self._token_counter.fetch_increment(), wire, self.sim.now)
+        self.token_stats.issued.increment()
+        self.injected_per_wire.increment(wire)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.token_injected(token)
@@ -263,10 +265,10 @@ class AdaptiveCountingSystem:
                 if obs.enabled:
                     obs.token_dropped(self.sim.now, token)
                 return
-            self._inject_pending[wire] += 1
+            self._inject_pending.increment(wire)
 
             def retry_injection() -> None:
-                self._inject_pending[wire] -= 1
+                self._inject_pending.decrement(wire)
                 self._attempt_injection(token, wire, from_node)
 
             self.sim.schedule(RETRY_DELAY, retry_injection)
@@ -317,7 +319,7 @@ class AdaptiveCountingSystem:
             for port, token in items:
                 token.hops += 1
                 self._owe(path, port, token)
-        self._inflight[path] = self._inflight.get(path, 0) + len(items)
+        self._inflight.post(path, len(items))
         if len(items) == 1:
             port, token = items[0]
             message = TokenMsg(path, port, token)
@@ -337,11 +339,9 @@ class AdaptiveCountingSystem:
             self._retry(path, port, token)
 
     def note_token_arrived(self, path: Path) -> None:
-        remaining = self._inflight.get(path, 0) - 1
-        if remaining > 0:
-            self._inflight[path] = remaining
-        else:
-            self._inflight.pop(path, None)
+        if self._inflight.settle(path) < 0:
+            # The old dict idiom clamped at zero; keep that behaviour.
+            self._inflight.clear_balance(path)
 
     # ------------------------------------------------------------------
     # emitted-but-not-arrived ledger (crash-recovery accounting)
@@ -356,7 +356,7 @@ class AdaptiveCountingSystem:
             return
         self._unowe(token)
         token.owed = key
-        self._owed[key] = self._owed.get(key, 0) + 1
+        self._owed.post(key)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.owed_delta(1)
@@ -367,11 +367,7 @@ class AdaptiveCountingSystem:
         if key is None:
             return
         token.owed = None
-        remaining = self._owed[key] - 1
-        if remaining:
-            self._owed[key] = remaining
-        else:
-            del self._owed[key]
+        self._owed.settle(key)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.owed_delta(-1)
@@ -380,7 +376,7 @@ class AdaptiveCountingSystem:
         """Tokens counted as emitted toward (``path``, ``port``) that
         have not arrived: in flight on the bus, bounced and awaiting a
         retry, or waiting in a combining buffer."""
-        return self._owed.get((tuple(path), port), 0)
+        return self._owed.balance((tuple(path), port))
 
     def _retry(self, path: Path, port: int, token: Token) -> None:
         token.reroutes += 1
@@ -457,7 +453,7 @@ class AdaptiveCountingSystem:
         token.value = (emitted - 1) * self.width + wire
         token.exit_wire = wire
         token.retired_at = self.sim.now
-        self.output_counts[wire] += 1
+        self.output_counts.increment(wire)
         self.token_stats.record_retired(token)
         for callback in self._retire_callbacks:
             callback(token)
@@ -530,8 +526,8 @@ class AdaptiveCountingSystem:
         network = CutNetwork(self.snapshot_cut(), wiring=self.wiring)
         for path in list(network.states):
             owner = self.directory.owner(path)
-            network.states[path] = self.hosts[owner].components[path].copy()
-        network.output_counts = list(self.output_counts)
+            network.states.put(path, self.hosts[owner].components[path].copy())
+        network.output_counts.reset(self.output_counts.snapshot())
         return network
 
     def metrics(self) -> NetworkMetrics:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.atomics import AtomicCounter
 from repro.obs import recorder as _obs
 
 
@@ -97,28 +98,32 @@ class TokenStats:
     quiescence.
     """
 
-    issued: int = 0
-    retired: int = 0
-    dropped: int = 0
-    total_hops: int = 0
-    total_reroutes: int = 0
+    # Each statistic is an AtomicCounter (thread-readiness contract);
+    # the counters compare/add like the plain ints they replaced, and
+    # `stats.issued += n` still works (one atomic add, same object).
+    issued: AtomicCounter = field(default_factory=AtomicCounter)  # repro: owned-by: shared
+    retired: AtomicCounter = field(default_factory=AtomicCounter)  # repro: owned-by: shared
+    dropped: AtomicCounter = field(default_factory=AtomicCounter)  # repro: owned-by: shared
+    total_hops: AtomicCounter = field(default_factory=AtomicCounter)  # repro: owned-by: shared
+    total_reroutes: AtomicCounter = field(default_factory=AtomicCounter)  # repro: owned-by: shared
     latencies: list = field(default_factory=list)
 
     def record_retired(self, token: Token) -> None:
-        self.retired += 1
-        self.total_hops += token.hops
-        self.total_reroutes += token.reroutes
+        self.retired.increment()
+        self.total_hops.increment(token.hops)
+        self.total_reroutes.increment(token.reroutes)
         self.latencies.append(token.latency)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.token_retired(token)
 
     def record_dropped(self, token: Token) -> None:
-        self.dropped += 1
+        self.dropped.increment()
 
     @property
     def mean_hops(self) -> float:
-        return self.total_hops / self.retired if self.retired else 0.0
+        retired = self.retired.get()
+        return self.total_hops.get() / retired if retired else 0.0
 
     @property
     def mean_latency(self) -> float:

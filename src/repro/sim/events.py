@@ -52,6 +52,7 @@ from math import isfinite
 from random import Random
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro.core.atomics import AtomicCounter
 from repro.errors import SimulationError
 from repro.obs import recorder as _obs
 
@@ -173,7 +174,7 @@ class Simulator:
         self._queue: List[_Entry] = []
         self._sequence = itertools.count()
         #: Cancelled entries still sitting in the heap (lazy deletion).
-        self._cancelled = 0
+        self._cancelled = AtomicCounter()  # repro: owned-by: shared
         #: Remaining ``max_events`` slots of the innermost bounded run,
         #: or None when unbounded; shared with the bus's inline path so
         #: the bound stays exact (see :meth:`claim_inline_slot`).
@@ -185,7 +186,7 @@ class Simulator:
             policy = POLICY_FACTORY()
         self.policy = policy
         self.now = 0.0
-        self.events_run = 0
+        self.events_run = AtomicCounter()  # repro: owned-by: shared
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` time units from now."""
@@ -229,13 +230,13 @@ class Simulator:
             return False
         handle.cancelled = True
         handle.callback = None  # free captured state now, not at fire time
-        self._cancelled += 1
+        self._cancelled.increment()
         return True
 
     @property
     def pending(self) -> int:
         """Number of *live* events still queued (cancelled excluded)."""
-        return len(self._queue) - self._cancelled
+        return len(self._queue) - self._cancelled.get()
 
     def claim_inline_slot(self, time: float) -> bool:
         """Whether an event at ``time`` may run inline, skipping the heap.
@@ -257,7 +258,7 @@ class Simulator:
         queue = self._queue
         while queue and queue[0][2].cancelled:  # lazy-deletion housekeeping
             heapq.heappop(queue)
-            self._cancelled -= 1
+            self._cancelled.decrement()
         if queue and queue[0][0] <= time:
             return False
         budget = self._budget
@@ -265,7 +266,7 @@ class Simulator:
             if budget <= 0:
                 return False
             self._budget = budget - 1
-        self.events_run += 1
+        self.events_run.increment()
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.event_executed(time)
@@ -277,12 +278,12 @@ class Simulator:
         while queue:
             time, _seq, handle = heapq.heappop(queue)
             if handle.cancelled:
-                self._cancelled -= 1
+                self._cancelled.decrement()
                 continue
             callback = handle.callback
             handle.callback = None
             self.now = time
-            self.events_run += 1
+            self.events_run.increment()
             obs = _obs.ACTIVE
             if obs.enabled:
                 obs.event_executed(time)
@@ -303,16 +304,22 @@ class Simulator:
         """
         queue = self._queue
         pop = heapq.heappop
-        started = self.events_run
+        events_run = self.events_run
+        drop_cancelled = self._cancelled.decrement
+        started = events_run.get()
         outer_budget = self._budget
         self._budget = max_events
+        # Popped events are tallied locally and folded into the shared
+        # counter once per batch (claim_inline_slot still charges its
+        # inline deliveries directly, between the flushes).
+        popped = 0
         try:
             while queue:
                 entry = queue[0]
                 handle = entry[2]
                 if handle.cancelled:
                     pop(queue)
-                    self._cancelled -= 1
+                    drop_cancelled()
                     continue
                 budget = self._budget  # re-read: inline deliveries consume it
                 if budget is not None:
@@ -325,14 +332,18 @@ class Simulator:
                 callback = handle.callback
                 handle.callback = None
                 self.now = entry[0]
-                self.events_run += 1
+                popped += 1
                 obs = _obs.ACTIVE
                 if obs.enabled:
+                    events_run.increment(popped)
+                    popped = 0
                     obs.event_executed(entry[0])
                 callback()  # type: ignore[misc]
-            return self.events_run - started
         finally:
+            if popped:
+                events_run.increment(popped)
             self._budget = outer_budget
+        return events_run.get() - started
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
         """Run all events scheduled strictly before ``time``; advances
@@ -340,16 +351,19 @@ class Simulator:
         as in :meth:`run_until_idle`."""
         queue = self._queue
         pop = heapq.heappop
-        started = self.events_run
+        events_run = self.events_run
+        drop_cancelled = self._cancelled.decrement
+        started = events_run.get()
         outer_budget = self._budget
         self._budget = max_events
+        popped = 0  # folded into events_run once per batch, as above
         try:
             while queue and queue[0][0] < time:
                 entry = queue[0]
                 handle = entry[2]
                 if handle.cancelled:
                     pop(queue)
-                    self._cancelled -= 1
+                    drop_cancelled()
                     continue
                 budget = self._budget
                 if budget is not None:
@@ -360,13 +374,17 @@ class Simulator:
                 callback = handle.callback
                 handle.callback = None
                 self.now = entry[0]
-                self.events_run += 1
+                popped += 1
                 obs = _obs.ACTIVE
                 if obs.enabled:
+                    events_run.increment(popped)
+                    popped = 0
                     obs.event_executed(entry[0])
                 callback()  # type: ignore[misc]
         finally:
+            if popped:
+                events_run.increment(popped)
             self._budget = outer_budget
         if time > self.now:
             self.now = time
-        return self.events_run - started
+        return events_run.get() - started

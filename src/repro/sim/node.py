@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Optional
 
+from repro.core.atomics import AtomicCounter, GuardedMap, TokenLedger
 from repro.errors import SimulationError
 from repro.obs import recorder as _obs
 from repro.sim.events import Simulator
@@ -69,16 +70,17 @@ class Envelope:
         process = bus._processes.get(self.to_address)
         if process is None:
             return None
-        if self.sent_epoch is not None and bus._epochs.get(self.to_address) != self.sent_epoch:
+        if self.sent_epoch is not None and bus._epoch_of(self.to_address) != self.sent_epoch:
             return None  # same address, different incarnation
         return process
 
     def arrive(self) -> None:
         """Network transit ended: enter the destination's service queue."""
         bus = self.bus
-        if self.addressee() is None:
+        current = self.addressee()
+        if current is None:
             bus._finish(self.kind)
-            bus.messages_dropped += 1
+            bus.messages_dropped.increment()
             obs = _obs.ACTIVE
             if obs.enabled:
                 obs.bus_dropped(bus.simulator.now, self.kind)
@@ -87,9 +89,9 @@ class Envelope:
             return
         simulator = bus.simulator
         now = simulator.now
-        busy = bus._busy_until.get(self.to_address, 0.0)
-        finish = (busy if busy > now else now) + bus.service_time
-        bus._busy_until[self.to_address] = finish
+        busy = bus._busy_of(self.to_address)
+        finish = (busy if busy is not None and busy > now else now) + bus.service_time
+        bus._busy_until.put(self.to_address, finish)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.bus_queued(now, self.kind, finish - now)
@@ -97,24 +99,28 @@ class Envelope:
         # service cost processes the message in this very event when the
         # simulator certifies that is order- and accounting-identical.
         if finish == now and simulator.claim_inline_slot(finish):
-            self.deliver()
+            # Nothing ran between the addressee check above and this
+            # call, so the resolution cannot have gone stale.
+            self._deliver_to(current)
             return
         simulator.schedule_at(finish, self.deliver)
 
     def deliver(self) -> None:
         """Service slot reached: hand the payload to the process."""
+        self._deliver_to(self.addressee())
+
+    def _deliver_to(self, current: Optional[SimulatedProcess]) -> None:
         bus = self.bus
-        current = self.addressee()
         bus._finish(self.kind)
         obs = _obs.ACTIVE
         if current is None:
-            bus.messages_dropped += 1
+            bus.messages_dropped.increment()
             if obs.enabled:
                 obs.bus_dropped(bus.simulator.now, self.kind)
             if self.on_undeliverable is not None:
                 self.on_undeliverable()
             return
-        bus.messages_delivered += 1
+        bus.messages_delivered.increment()
         if obs.enabled:
             obs.bus_delivered(bus.simulator.now, self.kind)
         current.handle_message(self.message)
@@ -141,17 +147,22 @@ class MessageBus:
         self.latency = latency or ConstantLatency(1.0)
         self.service_time = service_time
         self._processes: Dict[Hashable, SimulatedProcess] = {}
-        self._busy_until: Dict[Hashable, float] = {}
+        self._busy_until: GuardedMap[Hashable, float] = GuardedMap()  # repro: owned-by: shared
         #: Monotonic per-address registration count. A message captures
         #: the destination's epoch at send time; if the address was
         #: unregistered and re-registered while the message was in
         #: flight, the new incarnation must not receive mail addressed
         #: to the old one (the classic re-registration ABA hazard).
-        self._epochs: Dict[Hashable, int] = {}
-        self.messages_sent = 0
-        self.messages_delivered = 0
-        self.messages_dropped = 0
-        self._in_flight_by_kind: Dict[str, int] = {}
+        self._epochs: TokenLedger[Hashable] = TokenLedger()  # repro: owned-by: shared
+        #: Hoisted lock-free readers (C-level ``dict.get``) for the two
+        #: per-message lookups; neither ledger is ever reset(), so the
+        #: readers stay valid for the bus's lifetime.
+        self._epoch_of = self._epochs.reader()
+        self._busy_of = self._busy_until.reader()
+        self.messages_sent = AtomicCounter()  # repro: owned-by: shared
+        self.messages_delivered = AtomicCounter()  # repro: owned-by: shared
+        self.messages_dropped = AtomicCounter()  # repro: owned-by: shared
+        self._in_flight_by_kind: TokenLedger[str] = TokenLedger()  # repro: owned-by: shared
 
     # ------------------------------------------------------------------
     # registration
@@ -160,13 +171,13 @@ class MessageBus:
         if address in self._processes:
             raise SimulationError("address %r already registered" % (address,))
         self._processes[address] = process
-        self._epochs[address] = self._epochs.get(address, 0) + 1
+        self._epochs.post(address)
 
     def unregister(self, address: Hashable) -> None:
         # The epoch entry deliberately survives: it must keep growing
         # across re-registrations of the same address.
         self._processes.pop(address, None)
-        self._busy_until.pop(address, None)
+        self._busy_until.take(address)
 
     def is_registered(self, address: Hashable) -> bool:
         return address in self._processes
@@ -176,7 +187,7 @@ class MessageBus:
     # ------------------------------------------------------------------
     def in_flight(self, kind: str) -> int:
         """Messages of a given kind sent but not yet handled."""
-        return self._in_flight_by_kind.get(kind, 0)
+        return self._in_flight_by_kind.balance(kind)
 
     def send(
         self,
@@ -191,9 +202,8 @@ class MessageBus:
         is dropped and ``on_undeliverable`` (if given) runs instead —
         this is how neighbours notice lost components.
         """
-        self.messages_sent += 1
-        counts = self._in_flight_by_kind
-        counts[kind] = counts.get(kind, 0) + 1
+        self.messages_sent.increment()
+        self._in_flight_by_kind.post(kind)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.bus_sent(self.simulator.now, kind)
@@ -210,6 +220,4 @@ class MessageBus:
         self.simulator.schedule(transit, envelope.arrive)
 
     def _finish(self, kind: str) -> None:
-        self._in_flight_by_kind[kind] -= 1
-        if self._in_flight_by_kind[kind] == 0:
-            del self._in_flight_by_kind[kind]
+        self._in_flight_by_kind.settle(kind)

@@ -184,13 +184,40 @@ def promote_baseline_suppressed(report: Report) -> Tuple[Report, int]:
     return promoted, count
 
 
+def live_rule_findings(report: Report) -> int:
+    """Findings from the RSC6xx *rules* (not RSC600 hygiene) in a
+    report, demoted or not — the debt the baseline exists to triage."""
+    return sum(
+        1
+        for d in report.diagnostics
+        if d.code.startswith("RSC6") and d.code != "RSC600"
+    )
+
+
 def report_stale_keys(report: Report, stale: List[str], baseline_path: str) -> None:
-    """Warn about baseline keys no current finding matches."""
+    """Report baseline keys no current finding matches.
+
+    While live RSC6xx findings remain, a stale entry is a warning (the
+    ledger is mid-drain and someone paid down a finding without
+    deleting its key). Once the surface is clean — zero live findings —
+    the baseline's job is done and any remaining entry is an **error**:
+    the drained-to-empty state is a ratchet, and a file that silently
+    re-grows entries would re-open the triage door the thread-readiness
+    contract closed.
+    """
+    severity = (
+        Severity.WARNING if live_rule_findings(report) else Severity.ERROR
+    )
     for key in stale:
+        suffix = (
+            ""
+            if severity is Severity.WARNING
+            else " — the baseline is drained, so leftover entries are errors"
+        )
         report.add(
             "RSC600",
             "stale baseline entry %r matches no current finding; remove it "
-            "from %s" % (key, os.path.basename(baseline_path)),
+            "from %s%s" % (key, os.path.basename(baseline_path), suffix),
             baseline_path,
-            severity=Severity.WARNING,
+            severity=severity,
         )

@@ -22,6 +22,11 @@ Error-code blocks
     Concurrency: static shared-state/atomicity rules (601-605) and the
     schedule-perturbation sanitizer (610/611); RSC600 covers analysis
     limitations and contract/baseline hygiene.
+``RSC7xx``
+    Ownership & lock discipline: the ownership/guard contract grammar
+    (700), unguarded shared writes (701), lock-order cycles (702),
+    contract/inference mismatches (703), and atomics-helper misuse
+    (704) — the thread-readiness certification pass.
 
 :data:`KNOWN_CODES` is the authoritative registry: every code any pass
 may emit, with a one-line meaning. The JSON schema test asserts that
@@ -87,6 +92,12 @@ KNOWN_CODES: Dict[str, str] = {
     "RSC605": "continuation touches state in an epoch-bearing class without an epoch guard",
     "RSC610": "invariant broken under adversarial same-timestamp event reordering",
     "RSC611": "nondeterministic results under a fixed perturbation seed",
+    # Pass 7 — ownership & lock discipline (thread-readiness).
+    "RSC700": "ownership contract grammar/coverage error (bad domain, bad guard, dangling comment)",
+    "RSC701": "write to a declared-shared attribute outside any atomics helper or guard",
+    "RSC702": "lock-order cycle in the synchronization-object acquisition graph",
+    "RSC703": "declared ownership domain contradicted by the inferred access pattern",
+    "RSC704": "atomics-helper misuse (internals poked, container mutator, rebound outside init)",
 }
 
 

@@ -318,6 +318,74 @@ EXPLANATIONS: Dict[str, Explanation] = {
         "else.",
         "for node in self.members_set: ...  # set iteration order leaks",
     ),
+    # ------------------------------------------------------------------
+    # Pass 7 — ownership & lock discipline
+    # ------------------------------------------------------------------
+    "RSC700": Explanation(
+        "Ownership contracts are verified, not trusted — but only if "
+        "they parse and anchor. The grammar is '# repro: owned-by: "
+        "<domain>' (sim-loop-confined | single-writer | shared) or "
+        "'# repro: guarded-by: <sync-object>', trailing on an attribute "
+        "declaration or standalone on the line directly above it. An "
+        "unknown domain, a guard naming no attribute the class "
+        "initialises, or a comment anchoring to no declaration is a "
+        "contract that certifies nothing.",
+        "self.total = 0  # repro: owned-by: exclusive  # not a domain",
+    ),
+    "RSC701": Explanation(
+        "Declaring an attribute 'owned-by: shared' (or naming a guard) "
+        "is a promise that every mutation is one atomic operation: a "
+        "repro.core.atomics helper call, or a plain write inside 'with "
+        "self.<guard>:'. A bare '+=' or container poke on such an "
+        "attribute is exactly the compound read-modify-write Pass 6 "
+        "flags as RSC602 — the contract comment does not make it "
+        "atomic.",
+        "self.total = 0  # repro: owned-by: shared\n"
+        "...\n"
+        "def bump(self):\n"
+        "    self.total += 1  # load/add/store, no helper, no guard",
+    ),
+    "RSC702": Explanation(
+        "If one code path acquires lock A then B while another "
+        "acquires B then A, there is a schedule where each holds one "
+        "and waits forever on the other. The pass builds a per-class "
+        "acquisition graph from lexically nested 'with self.<lock>:' "
+        "blocks plus one level of self-method call propagation; any "
+        "cycle is a deadlock no event-loop discipline can excuse.",
+        "def fwd(self):\n"
+        "    with self.lock_a:\n"
+        "        with self.lock_b: ...\n"
+        "def rev(self):\n"
+        "    with self.lock_b:\n"
+        "        with self.lock_a: ...",
+    ),
+    "RSC703": Explanation(
+        "A domain declaration is a checkable claim about who mutates "
+        "the attribute: 'sim-loop-confined' claims every mutating "
+        "method is handler-reachable (the event loop serialises them), "
+        "'single-writer' claims exactly one method writes. The pass "
+        "infers the actual writer set from the access map and reports "
+        "the contradiction rather than trusting the comment — 'shared' "
+        "is the weakest claim and is never contradicted.",
+        "self.count = 0  # repro: owned-by: single-writer\n"
+        "...\n"
+        "def advance(self): self.count = 1\n"
+        "def rewind(self): self.count = 0  # second writer",
+    ),
+    "RSC704": Explanation(
+        "The atomics helpers are safe only through their named "
+        "operations: the single-thread flavor relies on each operation "
+        "being one C-level step, the locked flavor on each taking the "
+        "lock. Poking internals (self.x._value = n), calling a "
+        "container mutator (self.x.update(...)), subscript-assigning, "
+        "or rebinding the helper attribute outside init bypasses both "
+        "disciplines — readers may hold the old object, and the "
+        "mutation races.",
+        "self.total = AtomicCounter()\n"
+        "...\n"
+        "def poke(self):\n"
+        "    self.total._value = 99  # bypasses the atomic operations",
+    ),
 }
 
 

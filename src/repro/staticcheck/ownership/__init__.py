@@ -1,0 +1,49 @@
+"""Pass 7 — ownership & lock discipline: thread-readiness certified.
+
+Pass 6 found the shared state and drained its triage baseline; Pass 7
+certifies the result. It pairs every attribute declaration in the
+runtime packages with its ownership contract comment
+(``# repro: owned-by: <domain>`` / ``# repro: guarded-by: <sync>``,
+see :mod:`.contract`), verifies the contracts against the inferred
+access patterns instead of trusting them, builds a per-class
+synchronisation-object acquisition graph with lock-order cycle
+detection, and polices the :mod:`repro.core.atomics` helpers' opacity
+(:mod:`.rules`, codes RSC700-RSC704).
+
+Together with a clean Pass 6 (empty baseline, hard-failing RSC6xx) and
+a green schedule-perturbation sanitizer, a clean Pass 7 is the
+``repro check --thread-ready`` composite gate — the machine-checked
+precondition of the ROADMAP's shared-memory threads backend.
+"""
+
+from repro.staticcheck.ownership.contract import (
+    DOMAINS,
+    GUARDED_BY_MARKER,
+    OWNED_BY_MARKER,
+    OwnershipAnnotation,
+    OwnershipAnnotations,
+)
+from repro.staticcheck.ownership.rules import (
+    ATOMIC_HELPER_TYPES,
+    ATOMIC_MUTATING_METHODS,
+    DEFAULT_OWNERSHIP_PACKAGES,
+    check_ownership,
+    check_source,
+    default_ownership_paths,
+    infer_domain,
+)
+
+__all__ = [
+    "ATOMIC_HELPER_TYPES",
+    "ATOMIC_MUTATING_METHODS",
+    "DEFAULT_OWNERSHIP_PACKAGES",
+    "DOMAINS",
+    "GUARDED_BY_MARKER",
+    "OWNED_BY_MARKER",
+    "OwnershipAnnotation",
+    "OwnershipAnnotations",
+    "check_ownership",
+    "check_source",
+    "default_ownership_paths",
+    "infer_domain",
+]

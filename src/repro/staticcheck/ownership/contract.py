@@ -1,0 +1,98 @@
+"""The ownership contract grammar: ``owned-by`` and ``guarded-by``.
+
+Pass 7 reads two contract-comment forms, anchored to an attribute
+*declaration* (the ``self.x = ...`` statement in an init method, or a
+class-body field of a dataclass) — either trailing on the declaration
+line or alone on the line directly above it:
+
+``# repro: owned-by: <domain>``
+    Declares who may mutate the attribute. The three domains:
+
+    ``sim-loop-confined``
+        Only handler-context code (message delivery and the methods it
+        reaches) mutates the attribute; the event loop serialises it.
+    ``single-writer``
+        Exactly one method mutates the attribute; everyone else reads.
+    ``shared``
+        Mutated from several places — every mutation must go through an
+        atomics helper (:mod:`repro.core.atomics`) or a declared guard.
+
+``# repro: guarded-by: <sync-object>``
+    Names the attribute holding the synchronisation object (e.g. a
+    ``threading.Lock``) that must be held — ``with self.<sync-object>:``
+    — around every mutation of the annotated attribute.
+
+Like the Pass-6 ``thread-safe`` marker, these are **verified, not
+trusted**: an unknown domain, a guard naming no attribute of the class,
+or a comment anchoring to no declaration is RSC700; the declared domain
+is cross-checked against the inferred access pattern (RSC703); and
+declared-shared plain attributes with unguarded writes are RSC701.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: The two contract-comment markers, as they appear in source.
+OWNED_BY_MARKER = "# repro: owned-by:"
+GUARDED_BY_MARKER = "# repro: guarded-by:"
+
+#: The closed set of ownership domains.
+DOMAINS: Tuple[str, ...] = ("sim-loop-confined", "single-writer", "shared")
+
+
+@dataclass(frozen=True)
+class OwnershipAnnotation:
+    """One parsed contract comment."""
+
+    line: int
+    #: ``"owned-by"`` or ``"guarded-by"``.
+    kind: str
+    #: The domain name or sync-object attribute, verbatim (unvalidated —
+    #: the rules validate so they can report precise findings).
+    value: str
+    #: Whether the comment stands alone on its line (anchors to the
+    #: statement *below*) rather than trailing code (anchors to its own
+    #: line). The distinction keeps one declaration's trailing comment
+    #: from leaking onto the next line's declaration.
+    standalone: bool = False
+
+
+class OwnershipAnnotations:
+    """All ownership contract comments of one source buffer."""
+
+    def __init__(self, source: str):
+        #: line number -> annotations found on that physical line.
+        self.by_line: Dict[int, List[OwnershipAnnotation]] = {}
+        for index, text in enumerate(source.splitlines(), start=1):
+            standalone = text.strip().startswith("#")
+            for kind, marker in (
+                ("owned-by", OWNED_BY_MARKER),
+                ("guarded-by", GUARDED_BY_MARKER),
+            ):
+                position = text.find(marker)
+                if position < 0:
+                    continue
+                value = text[position + len(marker):].strip()
+                self.by_line.setdefault(index, []).append(
+                    OwnershipAnnotation(index, kind, value, standalone)
+                )
+
+    def at(self, line: int) -> List[OwnershipAnnotation]:
+        """Annotations anchored to a statement starting at ``line`` —
+        trailing on the line itself, or standalone on the line above."""
+        found: List[OwnershipAnnotation] = list(self.by_line.get(line, []))
+        found.extend(
+            annotation
+            for annotation in self.by_line.get(line - 1, [])
+            if annotation.standalone
+        )
+        return found
+
+    def __iter__(self) -> Iterator[OwnershipAnnotation]:
+        for line in sorted(self.by_line):
+            yield from self.by_line[line]
+
+    def __bool__(self) -> bool:
+        return bool(self.by_line)

@@ -1,0 +1,721 @@
+"""Pass 7 static rules: ownership domains and lock discipline (RSC70x).
+
+The pass builds on the Pass-6 access maps
+(:mod:`repro.staticcheck.concurrency.accessmap`): for every class it
+collects the attribute *declarations* (init-method ``self.x = ...``
+statements and class-body dataclass fields), pairs them with the
+ownership contract comments of :mod:`.contract`, and checks:
+
+``RSC700``
+    Contract grammar and coverage: an unknown ownership domain, a
+    ``guarded-by`` naming no attribute the class declares, or a
+    contract comment that anchors to no attribute declaration.
+``RSC701``
+    A write to a declared-``shared`` plain attribute that is neither an
+    atomics-helper operation nor inside the declared guard's
+    ``with self.<guard>:`` block.
+``RSC702``
+    A cycle in the synchronisation-object acquisition graph — lexically
+    nested ``with self.<lock>:`` statements plus one level of
+    ``self.method()`` call propagation, per class. Two methods that
+    acquire the same two locks in opposite orders deadlock under
+    threads; no schedule makes that safe.
+``RSC703``
+    A declared domain the inferred access pattern contradicts:
+    ``sim-loop-confined`` with a mutation outside handler-reachable
+    code, or ``single-writer`` with two or more distinct writer
+    methods. ``shared`` is the weakest claim and cannot be contradicted.
+``RSC704``
+    Misuse of a :mod:`repro.core.atomics` helper: poking its internals
+    (``self.x._value = n``), calling a container mutator on it
+    (``self.x.update(...)``), subscript-assigning through it, or
+    rebinding the helper attribute outside init.
+
+Everything is AST-only (analyzed code is never imported), findings
+carry the same line-free ``CODE module:Class.method:attr`` keys as
+Pass 6, and — like the ``thread-safe`` marker — the contract comments
+are verified rather than trusted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.staticcheck.concurrency.accessmap import (
+    MUTATORS,
+    ClassAccessMap,
+    MethodAccess,
+    build_module_map,
+    is_init_method,
+    self_attr,
+)
+from repro.staticcheck.concurrency.contract import finding_key
+from repro.staticcheck.concurrency.rules import (
+    DEFAULT_CONCURRENCY_PACKAGES,
+    _iter_python_files,
+    _module_name,
+    default_concurrency_paths,
+)
+from repro.staticcheck.diagnostics import Report
+from repro.staticcheck.ownership.contract import (
+    DOMAINS,
+    OwnershipAnnotations,
+)
+
+#: Pass 7 analyzes the same surface as Pass 6: the packages the threads
+#: backend will run.
+DEFAULT_OWNERSHIP_PACKAGES: Tuple[str, ...] = DEFAULT_CONCURRENCY_PACKAGES
+
+#: The :mod:`repro.core.atomics` helper types, by constructor name.
+ATOMIC_HELPER_TYPES = frozenset(
+    {
+        "AtomicCounter",
+        "LockedAtomicCounter",
+        "PerWireCounters",
+        "LockedPerWireCounters",
+        "ToggleBit",
+        "LockedToggleBit",
+        "TokenLedger",
+        "LockedTokenLedger",
+        "GuardedMap",
+        "LockedGuardedMap",
+    }
+)
+
+#: Helper methods that mutate the helper's state. Calls to these are
+#: *sanctioned* mutations (each is one atomic operation under the
+#: locked flavor), but they still count as writes for domain inference.
+ATOMIC_MUTATING_METHODS = frozenset(
+    {
+        "increment",
+        "fetch_increment",
+        "decrement",
+        "set",
+        "flip",
+        "post",
+        "fetch_post",
+        "settle",
+        "clear_balance",
+        "put",
+        "take",
+        "ensure",
+        "reset",
+    }
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def default_ownership_paths() -> List[str]:
+    """Directory paths of the default packages in this install."""
+    return default_concurrency_paths()
+
+
+# ----------------------------------------------------------------------
+# declarations and contracts
+# ----------------------------------------------------------------------
+@dataclass
+class AttrDeclaration:
+    """One attribute declaration site inside a class."""
+
+    attr: str
+    #: Line of the declaring statement (the anchor for annotations).
+    line: int
+    #: Whether the initialiser constructs an atomics helper.
+    helper: bool
+
+
+@dataclass
+class AttrContract:
+    """The declared ownership contract of one attribute."""
+
+    attr: str
+    line: int
+    helper: bool
+    domain: Optional[str] = None
+    guard: Optional[str] = None
+
+
+def _is_helper_call(value: ast.expr) -> bool:
+    """Whether ``value`` constructs a :mod:`repro.core.atomics` helper.
+
+    Recognises direct calls (``AtomicCounter()``), module-qualified
+    calls (``atomics.TokenLedger()``), subscripted generics
+    (``TokenLedger[str]()``) and dataclass fields
+    (``field(default_factory=AtomicCounter)``).
+    """
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Subscript):
+        func = func.value
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name in ATOMIC_HELPER_TYPES:
+        return True
+    if name == "field":
+        for keyword in value.keywords:
+            if keyword.arg == "default_factory":
+                factory = keyword.value
+                factory_name = None
+                if isinstance(factory, ast.Name):
+                    factory_name = factory.id
+                elif isinstance(factory, ast.Attribute):
+                    factory_name = factory.attr
+                if factory_name in ATOMIC_HELPER_TYPES:
+                    return True
+    return False
+
+
+def _declarations(class_map: ClassAccessMap) -> Dict[str, AttrDeclaration]:
+    """Attribute declaration sites: init-method ``self.x = ...``
+    statements plus class-body (dataclass-style) fields."""
+    sites: Dict[str, AttrDeclaration] = {}
+
+    def record(attr: str, line: int, value: Optional[ast.expr]) -> None:
+        helper = value is not None and _is_helper_call(value)
+        existing = sites.get(attr)
+        if existing is None:
+            sites[attr] = AttrDeclaration(attr, line, helper)
+        else:
+            existing.helper = existing.helper or helper
+
+    for item in class_map.node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    record(target.id, item.lineno, item.value)
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            record(item.target.id, item.lineno, item.value)
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not is_init_method(item.name):
+                continue
+            for sub in ast.walk(item):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        attr = self_attr(target)
+                        if attr is not None:
+                            record(attr, sub.lineno, sub.value)
+                elif isinstance(sub, ast.AnnAssign):
+                    attr = self_attr(sub.target)
+                    if attr is not None:
+                        record(attr, sub.lineno, sub.value)
+    return sites
+
+
+def _collect_contracts(
+    class_map: ClassAccessMap,
+    declarations: Dict[str, AttrDeclaration],
+    annotations: OwnershipAnnotations,
+    module: str,
+    report: Report,
+    consumed: Set[int],
+) -> Dict[str, AttrContract]:
+    """Pair declarations with their contract comments; RSC700 for
+    grammar errors (unknown domain, guard naming no attribute)."""
+    contracts: Dict[str, AttrContract] = {}
+    for declaration in sorted(declarations.values(), key=lambda d: d.line):
+        anchored = annotations.at(declaration.line)
+        if not anchored:
+            continue
+        contract = AttrContract(
+            declaration.attr, declaration.line, declaration.helper
+        )
+        for annotation in anchored:
+            consumed.add(annotation.line)
+            if annotation.kind == "owned-by":
+                if annotation.value not in DOMAINS:
+                    report.add(
+                        "RSC700",
+                        "unknown ownership domain %r; the grammar is "
+                        "'# repro: owned-by: <domain>' with domain one of %s"
+                        % (annotation.value, ", ".join(DOMAINS)),
+                        class_map.file,
+                        line=annotation.line,
+                        component=finding_key(
+                            "RSC700", module, class_map.name, declaration.attr
+                        ),
+                    )
+                else:
+                    contract.domain = annotation.value
+            else:  # guarded-by
+                guard = annotation.value
+                if not guard.isidentifier() or guard not in declarations:
+                    report.add(
+                        "RSC700",
+                        "guarded-by names %r, which is not an attribute this "
+                        "class declares; the guard must be a sync object "
+                        "initialised by the class (e.g. a threading.Lock)"
+                        % guard,
+                        class_map.file,
+                        line=annotation.line,
+                        component=finding_key(
+                            "RSC700", module, class_map.name, declaration.attr
+                        ),
+                    )
+                else:
+                    contract.guard = guard
+        if contract.domain is not None or contract.guard is not None:
+            contracts[declaration.attr] = contract
+    return contracts
+
+
+# ----------------------------------------------------------------------
+# lock acquisitions and guarded ranges
+# ----------------------------------------------------------------------
+@dataclass
+class LockAcquisition:
+    """One ``with self.<lock>:`` statement inside a method."""
+
+    lock: str
+    node: Union[ast.With, ast.AsyncWith]
+    line: int
+    end_line: int
+
+
+def _lock_acquisitions(method_node: _FunctionNode) -> List[LockAcquisition]:
+    acquisitions: List[LockAcquisition] = []
+    for node in ast.walk(method_node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            lock = self_attr(item.context_expr)
+            if lock is not None:
+                acquisitions.append(
+                    LockAcquisition(
+                        lock, node, node.lineno, node.end_lineno or node.lineno
+                    )
+                )
+    return acquisitions
+
+
+def _guarded(acquisitions: List[LockAcquisition], guard: str, line: int) -> bool:
+    """Whether ``line`` falls inside a ``with self.<guard>:`` block."""
+    return any(
+        acq.lock == guard and acq.line <= line <= acq.end_line
+        for acq in acquisitions
+    )
+
+
+# ----------------------------------------------------------------------
+# mutation inventory (accessmap writes + sanctioned helper calls)
+# ----------------------------------------------------------------------
+def _helper_call_lines(method_node: _FunctionNode) -> Dict[str, List[int]]:
+    """Lines where a sanctioned atomics-helper mutator is called on a
+    ``self`` attribute (``self.x.increment()``, ``self.x.post(k)``…)."""
+    lines: Dict[str, List[int]] = {}
+    for node in ast.walk(method_node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ATOMIC_MUTATING_METHODS
+        ):
+            attr = self_attr(func.value)
+            if attr is not None:
+                lines.setdefault(attr, []).append(node.lineno)
+    return lines
+
+
+def _plain_write_lines(method: MethodAccess, attr: str) -> List[int]:
+    """Accessmap write/compound lines of ``attr`` in ``method``."""
+    return sorted(
+        set(method.writes.get(attr, [])) | set(method.compound.get(attr, []))
+    )
+
+
+def _mutators(
+    class_map: ClassAccessMap, attr: str
+) -> Dict[str, List[int]]:
+    """Non-init methods that mutate ``attr``, with the lines: plain
+    writes and compound updates from the access map, plus sanctioned
+    helper-mutator calls (which *are* writes for inference purposes)."""
+    writers: Dict[str, List[int]] = {}
+    for method in class_map.methods.values():
+        if is_init_method(method.name):
+            continue
+        if not isinstance(
+            method.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):  # pragma: no cover - methods are always defs
+            continue
+        lines = _plain_write_lines(method, attr)
+        lines.extend(_helper_call_lines(method.node).get(attr, []))
+        if lines:
+            writers[method.name] = sorted(set(lines))
+    return writers
+
+
+def infer_domain(class_map: ClassAccessMap, attr: str) -> str:
+    """The ownership domain the access pattern supports.
+
+    ``sim-loop-confined`` when every mutating method is reachable from
+    handler context; ``single-writer`` when at most one method mutates
+    the attribute; ``shared`` otherwise. Init methods never count —
+    the object is unpublished while they run.
+    """
+    writers = _mutators(class_map, attr)
+    if writers:
+        reachable = class_map.handler_reachable()
+        if all(name in reachable for name in writers):
+            return "sim-loop-confined"
+    if len(writers) <= 1:
+        return "single-writer"
+    return "shared"
+
+
+# ----------------------------------------------------------------------
+# per-rule checkers
+# ----------------------------------------------------------------------
+def _check_rsc701(
+    class_map: ClassAccessMap,
+    contracts: Dict[str, AttrContract],
+    module: str,
+    report: Report,
+) -> None:
+    """Unguarded write to a declared-shared plain attribute.
+
+    Helper-typed attributes are exempt: their sanctioned operations are
+    invisible to the access map, and everything else about them is
+    RSC704's business.
+    """
+    for attr, contract in sorted(contracts.items()):
+        if contract.helper:
+            continue
+        if contract.domain != "shared" and contract.guard is None:
+            continue
+        for name in sorted(class_map.methods):
+            method = class_map.methods[name]
+            if is_init_method(name):
+                continue
+            acquisitions = (
+                _lock_acquisitions(method.node)
+                if isinstance(method.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else []
+            )
+            for line in _plain_write_lines(method, attr):
+                if contract.guard is not None and _guarded(
+                    acquisitions, contract.guard, line
+                ):
+                    continue
+                expected = (
+                    "'with self.%s:'" % contract.guard
+                    if contract.guard is not None
+                    else "an atomics helper or a declared guard"
+                )
+                report.add(
+                    "RSC701",
+                    "write to '%s' (declared %s) outside %s — under threads "
+                    "this mutation races with every other accessor"
+                    % (
+                        attr,
+                        "owned-by: shared"
+                        if contract.domain == "shared"
+                        else "guarded-by: %s" % contract.guard,
+                        expected,
+                    ),
+                    class_map.file,
+                    line=line,
+                    component=finding_key(
+                        "RSC701",
+                        module,
+                        "%s.%s" % (class_map.name, name),
+                        attr,
+                    ),
+                )
+
+
+def _acquisition_edges(class_map: ClassAccessMap) -> Dict[str, Set[str]]:
+    """The class's lock-acquisition graph: ``A -> B`` when ``with
+    self.A:`` lexically contains ``with self.B:``, or contains a
+    ``self.m()`` call and method ``m`` acquires ``B`` (one level)."""
+    method_locks: Dict[str, Set[str]] = {}
+    for name, method in class_map.methods.items():
+        if isinstance(method.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method_locks[name] = {
+                acq.lock for acq in _lock_acquisitions(method.node)
+            }
+    edges: Dict[str, Set[str]] = {}
+    for name, method in class_map.methods.items():
+        if not isinstance(method.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for acq in _lock_acquisitions(method.node):
+            held = acq.lock
+            for sub in ast.walk(acq.node):
+                if sub is acq.node:
+                    continue
+                if isinstance(sub, (ast.With, ast.AsyncWith)):
+                    for item in sub.items:
+                        inner = self_attr(item.context_expr)
+                        if inner is not None and inner != held:
+                            edges.setdefault(held, set()).add(inner)
+                elif isinstance(sub, ast.Call):
+                    func = sub.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "self"
+                    ):
+                        for inner in method_locks.get(func.attr, ()):
+                            if inner != held:
+                                edges.setdefault(held, set()).add(inner)
+    return edges
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Distinct simple cycles in the acquisition graph (deduplicated by
+    membership, reported from their lexicographically first lock)."""
+    cycles: List[List[str]] = []
+    seen: Set[FrozenSet[str]] = set()
+
+    def dfs(node: str, path: List[str], on_path: Set[str]) -> None:
+        for successor in sorted(edges.get(node, ())):
+            if successor in on_path:
+                start = path.index(successor)
+                cycle = path[start:]
+                key = frozenset(cycle)
+                if key not in seen:
+                    seen.add(key)
+                    pivot = cycle.index(min(cycle))
+                    cycles.append(cycle[pivot:] + cycle[:pivot])
+                continue
+            path.append(successor)
+            on_path.add(successor)
+            dfs(successor, path, on_path)
+            on_path.discard(successor)
+            path.pop()
+
+    for root in sorted(edges):
+        dfs(root, [root], {root})
+    return cycles
+
+
+def _check_rsc702(
+    class_map: ClassAccessMap, module: str, report: Report
+) -> None:
+    for cycle in _find_cycles(_acquisition_edges(class_map)):
+        order = " -> ".join(cycle + [cycle[0]])
+        report.add(
+            "RSC702",
+            "lock-order cycle %s: two code paths acquire these sync objects "
+            "in opposite orders, which deadlocks under threads" % order,
+            class_map.file,
+            line=class_map.line,
+            component=finding_key(
+                "RSC702", module, class_map.name, "->".join(cycle)
+            ),
+        )
+
+
+def _check_rsc703(
+    class_map: ClassAccessMap,
+    contracts: Dict[str, AttrContract],
+    module: str,
+    report: Report,
+) -> None:
+    reachable = class_map.handler_reachable()
+    for attr, contract in sorted(contracts.items()):
+        if contract.domain is None or contract.domain == "shared":
+            continue  # `shared` is the weakest claim; nothing refutes it
+        writers = _mutators(class_map, attr)
+        if contract.domain == "sim-loop-confined":
+            outside = sorted(name for name in writers if name not in reachable)
+            if outside:
+                report.add(
+                    "RSC703",
+                    "declared owned-by: sim-loop-confined, but '%s' is "
+                    "mutated outside handler-reachable code by %s"
+                    % (attr, ", ".join(outside)),
+                    class_map.file,
+                    line=contract.line,
+                    component=finding_key(
+                        "RSC703", module, class_map.name, attr
+                    ),
+                )
+        elif contract.domain == "single-writer" and len(writers) >= 2:
+            report.add(
+                "RSC703",
+                "declared owned-by: single-writer, but '%s' is mutated by "
+                "%d methods (%s)"
+                % (attr, len(writers), ", ".join(sorted(writers))),
+                class_map.file,
+                line=contract.line,
+                component=finding_key("RSC703", module, class_map.name, attr),
+            )
+
+
+def _root_self_attr(node: ast.expr) -> Optional[str]:
+    """The ``X`` of the ``self.X`` at the base of an attribute or
+    subscript chain (``self.X.y``, ``self.X[k].z`` …), else None."""
+    current: ast.expr = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        direct = self_attr(current)
+        if direct is not None:
+            return direct
+        current = current.value
+    return None
+
+
+def _check_rsc704(
+    class_map: ClassAccessMap,
+    declarations: Dict[str, AttrDeclaration],
+    module: str,
+    report: Report,
+) -> None:
+    helpers = {
+        attr for attr, decl in declarations.items() if decl.helper
+    }
+    if not helpers:
+        return
+    for name in sorted(class_map.methods):
+        method = class_map.methods[name]
+        if not isinstance(method.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        qualifier = "%s.%s" % (class_map.name, name)
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if self_attr(node) is not None:
+                    continue  # plain rebinding, handled below
+                base = _root_self_attr(node)
+                if base in helpers:
+                    report.add(
+                        "RSC704",
+                        "mutation of atomics-helper internals "
+                        "('self.%s.%s'): helpers are opaque — use their "
+                        "named operations" % (base, node.attr),
+                        class_map.file,
+                        line=node.lineno,
+                        component=finding_key("RSC704", module, qualifier, base),
+                    )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                base = _root_self_attr(node)
+                if base in helpers:
+                    report.add(
+                        "RSC704",
+                        "subscript assignment through atomics helper "
+                        "'self.%s': helpers deliberately have no __setitem__ "
+                        "— use put()/post()/increment()" % base,
+                        class_map.file,
+                        line=node.lineno,
+                        component=finding_key("RSC704", module, qualifier, base),
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+                    base = _root_self_attr(func.value)
+                    if base is None:
+                        base = self_attr(func.value)
+                    if base in helpers:
+                        report.add(
+                            "RSC704",
+                            "container mutator .%s() on atomics helper "
+                            "'self.%s': helpers expose only their named "
+                            "atomic operations" % (func.attr, base),
+                            class_map.file,
+                            line=node.lineno,
+                            component=finding_key(
+                                "RSC704", module, qualifier, base
+                            ),
+                        )
+            elif isinstance(node, ast.Assign) and not is_init_method(name):
+                for target in node.targets:
+                    attr = self_attr(target)
+                    if attr in helpers:
+                        report.add(
+                            "RSC704",
+                            "rebinding atomics helper 'self.%s' outside init: "
+                            "readers may hold the old object — mutate through "
+                            "its operations or reset() it instead" % attr,
+                            class_map.file,
+                            line=node.lineno,
+                            component=finding_key(
+                                "RSC704", module, qualifier, attr
+                            ),
+                        )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def check_source(
+    source: str,
+    filename: str = "<string>",
+    module: Optional[str] = None,
+    report: Optional[Report] = None,
+) -> Report:
+    """Run the Pass 7 ownership rules over one source buffer."""
+    if report is None:
+        report = Report()
+    if module is None:
+        module = _module_name(filename)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add(
+            "RSC700",
+            "syntax error: %s" % exc.msg,
+            filename,
+            line=exc.lineno or 1,
+        )
+        return report
+    annotations = OwnershipAnnotations(source)
+    module_map = build_module_map(tree, filename, module)
+    consumed: Set[int] = set()
+    for class_map in module_map.classes:
+        declarations = _declarations(class_map)
+        contracts = _collect_contracts(
+            class_map, declarations, annotations, module, report, consumed
+        )
+        _check_rsc701(class_map, contracts, module, report)
+        _check_rsc702(class_map, module, report)
+        _check_rsc703(class_map, contracts, module, report)
+        _check_rsc704(class_map, declarations, module, report)
+    for annotation in annotations:
+        if annotation.line not in consumed:
+            report.add(
+                "RSC700",
+                "dangling ownership contract comment ('%s: %s') anchors to "
+                "no attribute declaration; place it on the 'self.x = ...' "
+                "line (or the line directly above it)"
+                % (annotation.kind, annotation.value),
+                filename,
+                line=annotation.line,
+                component=finding_key("RSC700", module, "<module>", "-"),
+            )
+    return report
+
+
+def check_ownership(paths: Optional[Sequence[str]] = None) -> Report:
+    """Run Pass 7 over ``paths`` (default: the four runtime packages)."""
+    report = Report()
+    if paths is None:
+        paths = default_ownership_paths()
+    # Re-key path errors under this pass's limitation code.
+    path_errors = Report()
+    files = _iter_python_files(paths, path_errors)
+    for diagnostic in path_errors.diagnostics:
+        report.add(
+            "RSC700",
+            diagnostic.message,
+            diagnostic.source,
+            line=diagnostic.line,
+            severity=diagnostic.severity,
+        )
+    for filename in files:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.add("RSC700", "cannot read file: %s" % exc, filename)
+            continue
+        check_source(source, filename, report=report)
+    return report

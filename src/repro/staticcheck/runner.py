@@ -184,14 +184,27 @@ def _run_concurrency_half(
     concurrency_paths: Optional[Sequence[str]],
     concurrency_baseline: Optional[str],
     update_concurrency_baseline: bool,
+    allow_baseline_growth: bool,
+    strict_baseline: bool,
     sanitize_seeds: Optional[Sequence[int]],
     sanitize_profile: str,
     sanitize_jitter: float,
+    sanitize_scenarios: Optional[Sequence[str]],
     sanitize_artifact_dir: Optional[str],
 ) -> Tuple[Optional[str], List[str]]:
     """Pass 6: static rules, then the sanitizer, then the coupling rule
     (sanitizer failure revokes baseline suppressions). Returns the
-    baseline path written (if any) and sanitizer artifact paths."""
+    baseline path written (if any) and sanitizer artifact paths.
+
+    With ``strict_baseline`` (the ``--thread-ready`` gate) the baseline
+    is not applied at all: findings stay errors, and a baseline file
+    that still carries entries is itself an error — thread-readiness
+    means the debt ledger is empty, not merely triaged.
+
+    Updating the baseline refuses to *grow* it (write keys the current
+    file does not already carry) unless ``allow_baseline_growth`` is
+    set: once drained, the empty baseline is a ratchet.
+    """
     from repro.staticcheck.concurrency import (
         SanitizerConfig,
         apply_baseline,
@@ -216,10 +229,47 @@ def _run_concurrency_half(
         static_report = check_concurrency(concurrency_paths)
         if update_concurrency_baseline:
             content = format_baseline(static_report)
-            with open(baseline_path, "w", encoding="utf-8") as handle:
-                handle.write(content)
-            baseline_written = baseline_path
-        if os.path.exists(baseline_path):
+            new_keys = {
+                line
+                for line in content.splitlines()
+                if line and not line.startswith("#")
+            }
+            existing = (
+                load_baseline(baseline_path)
+                if os.path.exists(baseline_path)
+                else set()
+            )
+            growth = sorted(new_keys - existing)
+            if growth and not allow_baseline_growth:
+                static_report.add(
+                    "RSC600",
+                    "refusing to add %d finding(s) to the concurrency "
+                    "baseline: the baseline has been drained to empty and "
+                    "may not grow back — fix the findings, or pass "
+                    "--allow-baseline-growth to triage them explicitly"
+                    % len(growth),
+                    baseline_path,
+                )
+            else:
+                with open(baseline_path, "w", encoding="utf-8") as handle:
+                    handle.write(content)
+                baseline_written = baseline_path
+        if strict_baseline:
+            if os.path.exists(baseline_path):
+                entries = load_baseline(baseline_path)
+                if entries:
+                    static_report.add(
+                        "RSC600",
+                        "thread-readiness requires an empty concurrency "
+                        "baseline, but %d entr%s remain in %s"
+                        % (
+                            len(entries),
+                            "y" if len(entries) == 1 else "ies",
+                            os.path.basename(baseline_path),
+                        ),
+                        baseline_path,
+                    )
+        elif os.path.exists(baseline_path):
             static_report, stale = apply_baseline(
                 static_report, load_baseline(baseline_path)
             )
@@ -228,6 +278,8 @@ def _run_concurrency_half(
         static_name = "concurrency (%s)" % (
             "default packages" if concurrency_paths is None else "%d path(s)" % len(concurrency_paths)
         )
+        if strict_baseline:
+            static_name += " [strict: no baseline applied]"
 
     sanitizer_failed = False
     if sanitize_seeds is not None:
@@ -235,6 +287,11 @@ def _run_concurrency_half(
             profile=sanitize_profile,
             seeds=tuple(sanitize_seeds),
             max_jitter=sanitize_jitter,
+            scenarios=(
+                list(sanitize_scenarios)
+                if sanitize_scenarios is not None
+                else None
+            ),
         )
         if sanitize_artifact_dir is not None:
             config.artifact_dir = sanitize_artifact_dir
@@ -276,9 +333,14 @@ def run_check(
     concurrency_paths: Optional[Sequence[str]] = None,
     concurrency_baseline: Optional[str] = None,
     update_concurrency_baseline: bool = False,
+    allow_baseline_growth: bool = False,
+    ownership: bool = False,
+    ownership_paths: Optional[Sequence[str]] = None,
+    thread_ready: bool = False,
     sanitize_seeds: Optional[Sequence[int]] = None,
     sanitize_profile: str = "smoke",
     sanitize_jitter: float = 0.0,
+    sanitize_scenarios: Optional[Sequence[str]] = None,
     sanitize_artifact_dir: Optional[str] = None,
 ) -> CheckRun:
     """Run the requested passes and return the combined result.
@@ -293,10 +355,24 @@ def run_check(
     at ``concurrency_baseline`` (default: ``CONCURRENCY_BASELINE.txt``
     in the working directory, when present), and/or the schedule-
     perturbation sanitizer over ``sanitize_profile``'s bench scenarios,
-    one run per perturbation seed. Otherwise the structure and cut
-    passes run over the standard target matrix for each width.
+    one run per perturbation seed. With ``ownership`` set, Pass 7 runs
+    the RSC70x ownership/lock-discipline rules over ``ownership_paths``
+    (default: the same runtime packages). ``thread_ready`` is the
+    composite gate: Pass 6 in strict mode (no baseline demotion, a
+    non-empty baseline is itself an error) + Pass 7 + the sanitizer
+    over the default seeds — all three must be clean. Otherwise the
+    structure and cut passes run over the standard target matrix for
+    each width.
     """
     ledger = _PassLedger()
+
+    if thread_ready:
+        from repro.staticcheck.concurrency import DEFAULT_SANITIZE_SEEDS
+
+        concurrency = True
+        ownership = True
+        if sanitize_seeds is None:
+            sanitize_seeds = DEFAULT_SANITIZE_SEEDS
 
     if lint is not None:
         ledger.run_pass(
@@ -326,18 +402,34 @@ def run_check(
             )
         return CheckRun(ledger.targets, ledger.combined, ledger.passes())
 
-    if concurrency or sanitize_seeds is not None:
+    if concurrency or ownership or sanitize_seeds is not None:
         baseline_written, artifacts = _run_concurrency_half(
             ledger,
             concurrency,
             concurrency_paths,
             concurrency_baseline,
             update_concurrency_baseline,
+            allow_baseline_growth,
+            thread_ready,
             sanitize_seeds,
             sanitize_profile,
             sanitize_jitter,
+            sanitize_scenarios,
             sanitize_artifact_dir,
         )
+        if ownership:
+            from repro.staticcheck.ownership import check_ownership
+
+            ledger.run_pass(
+                "ownership",
+                "ownership (%s)"
+                % (
+                    "default packages"
+                    if ownership_paths is None
+                    else "%d path(s)" % len(ownership_paths)
+                ),
+                lambda: check_ownership(ownership_paths),
+            )
         return CheckRun(
             ledger.targets,
             ledger.combined,

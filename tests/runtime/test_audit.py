@@ -71,7 +71,7 @@ class TestRepair:
         rng = random.Random(10)
         corrupt_components(system, rng, 3)
         system.auditor.audit()
-        before = system.token_stats.retired
+        before = system.token_stats.retired.get()
         tokens = [system.inject_token() for _ in range(40)]
         system.run_until_quiescent()
         values = sorted(t.value for t in tokens)

@@ -74,7 +74,7 @@ class TestSavings:
         combined = build(2.0)
         results = {}
         for name, system in (("plain", plain), ("combined", combined)):
-            before = system.bus.messages_sent
+            before = system.bus.messages_sent.get()
             for _ in range(200):
                 system.inject_token()
             system.run_until_quiescent()

@@ -155,7 +155,7 @@ class ClosureMessageBus(MessageBus):
 
     def send(self, to_address, message, kind="message", on_undeliverable=None):
         self.messages_sent += 1
-        self._in_flight_by_kind[kind] = self._in_flight_by_kind.get(kind, 0) + 1
+        self._in_flight_by_kind.post(kind)
         transit = self.latency.sample()
         sent_epoch = self._epochs.get(to_address) if self.is_registered(to_address) else None
 
@@ -176,7 +176,7 @@ class ClosureMessageBus(MessageBus):
                 return
             start = max(self.simulator.now, self._busy_until.get(to_address, 0.0))
             finish = start + self.service_time
-            self._busy_until[to_address] = finish
+            self._busy_until.put(to_address, finish)
 
             def process_it():
                 current = addressee()

@@ -1,0 +1,51 @@
+"""Positive fixture: the full ownership contract grammar, all verified.
+
+Every RSC70x rule has something to chew on here and must stay silent:
+a declared-shared helper mutated only through its atomic operations, a
+guarded plain attribute written only under its lock, consistently
+ordered nested locks, a true single-writer, a sim-loop-confined
+counter written only from handler-reachable code, and standalone
+comment anchoring.
+"""
+
+import threading
+
+from repro.core.atomics import AtomicCounter, TokenLedger
+
+
+class WellRun:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.aux_lock = threading.Lock()
+        self.retired = AtomicCounter()  # repro: owned-by: shared
+        # repro: owned-by: shared
+        self.owed = TokenLedger()
+        # repro: guarded-by: lock
+        self.table = {}
+        self.cursor = 0  # repro: owned-by: single-writer
+        self.events = 0  # repro: owned-by: sim-loop-confined
+
+    def handle_message(self, message):
+        self.events += 1
+        self.retired.increment()
+        self.owed.post(message)
+
+    def settle(self, key):
+        self.owed.settle(key)
+
+    def store(self, key, value):
+        with self.lock:
+            self.table[key] = value
+
+    def evict(self, key):
+        with self.lock:
+            with self.aux_lock:  # same order everywhere: no cycle
+                self.table.pop(key, None)
+
+    def seek(self, position):
+        self.cursor = position
+
+    def snapshot(self):
+        with self.lock:
+            with self.aux_lock:
+                return dict(self.table), self.retired.get()

@@ -1,0 +1,9 @@
+"""Negative fixture: exactly one RSC700 (unknown ownership domain)."""
+
+
+class Register:
+    def __init__(self):
+        self.total = 0  # repro: owned-by: exclusive
+
+    def read(self):
+        return self.total

@@ -1,0 +1,9 @@
+"""Negative fixture: exactly one RSC701 (unguarded declared-shared write)."""
+
+
+class Tally:
+    def __init__(self):
+        self.total = 0  # repro: owned-by: shared
+
+    def bump(self):
+        self.total += 1

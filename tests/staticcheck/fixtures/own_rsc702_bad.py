@@ -1,0 +1,19 @@
+"""Negative fixture: exactly one RSC702 (lock-order cycle)."""
+
+import threading
+
+
+class TwoLocks:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:
+                pass
+
+    def backward(self):
+        with self.lock_b:
+            with self.lock_a:
+                pass

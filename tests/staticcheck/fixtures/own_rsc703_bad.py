@@ -1,0 +1,12 @@
+"""Negative fixture: exactly one RSC703 (single-writer with two writers)."""
+
+
+class Cursor:
+    def __init__(self):
+        self.position = 0  # repro: owned-by: single-writer
+
+    def advance(self):
+        self.position = 1
+
+    def rewind(self):
+        self.position = 0

@@ -1,0 +1,11 @@
+"""Negative fixture: exactly one RSC704 (atomics-helper internals poked)."""
+
+from repro.core.atomics import AtomicCounter
+
+
+class Meter:
+    def __init__(self):
+        self.total = AtomicCounter()  # repro: owned-by: shared
+
+    def poke(self):
+        self.total._value = 99

@@ -139,6 +139,18 @@ class TestBaselineLifecycle:
         stale_diags = [d for d in demoted.diagnostics if d.code == "RSC600"]
         assert len(stale_diags) == 1
         assert stale_key in stale_diags[0].message
+        # A live (demoted) RSC602 finding remains, so stale entries are
+        # only housekeeping warnings.
+        assert stale_diags[0].severity is Severity.WARNING
+
+    def test_stale_keys_are_errors_once_the_baseline_is_drained(self):
+        report = Report()  # no live findings at all: baseline is drained
+        stale_key = "RSC602 gone_module:Ghost.method:total"
+        report_stale_keys(report, [stale_key], "BASE.txt")
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.code == "RSC600"
+        assert diagnostic.severity is Severity.ERROR
+        assert "drained" in diagnostic.message
 
     def test_format_baseline_regeneration_is_idempotent(self):
         report = check_concurrency(_rule_fixtures())
@@ -169,6 +181,58 @@ def load_baseline_from_text(content):
 
 
 class TestRunnerWiring:
+    def test_update_refuses_to_grow_the_baseline_by_default(self, tmp_path):
+        baseline = str(tmp_path / "BASE.txt")
+        run = run_check(
+            concurrency=True,
+            concurrency_paths=_rule_fixtures(),
+            concurrency_baseline=baseline,
+            update_concurrency_baseline=True,
+        )
+        assert run.baseline_written is None
+        assert not os.path.exists(baseline)
+        assert not run.report.ok
+        refusals = [
+            d
+            for d in run.report.diagnostics
+            if d.code == "RSC600" and "refusing to add" in d.message
+        ]
+        assert len(refusals) == 1
+        assert "--allow-baseline-growth" in refusals[0].message
+
+    def test_update_accepts_growth_when_explicitly_allowed(self, tmp_path):
+        baseline = str(tmp_path / "BASE.txt")
+        run = run_check(
+            concurrency=True,
+            concurrency_paths=_rule_fixtures(),
+            concurrency_baseline=baseline,
+            update_concurrency_baseline=True,
+            allow_baseline_growth=True,
+        )
+        assert run.baseline_written == baseline
+        assert run.report.ok
+
+    def test_update_shrink_needs_no_growth_flag(self, tmp_path):
+        baseline = str(tmp_path / "BASE.txt")
+        run_check(
+            concurrency=True,
+            concurrency_paths=_rule_fixtures(),
+            concurrency_baseline=baseline,
+            update_concurrency_baseline=True,
+            allow_baseline_growth=True,
+        )
+        # Re-regenerating against a subset of the findings only removes
+        # entries; that must not require --allow-baseline-growth.
+        run = run_check(
+            concurrency=True,
+            concurrency_paths=[_fixture_path("conc_rsc602_bad.py")],
+            concurrency_baseline=baseline,
+            update_concurrency_baseline=True,
+        )
+        assert run.baseline_written == baseline
+        assert run.report.ok
+        assert len(load_baseline(baseline)) == 1
+
     def test_update_then_rerun_is_clean(self, tmp_path):
         baseline = str(tmp_path / "BASE.txt")
         first = run_check(
@@ -176,6 +240,7 @@ class TestRunnerWiring:
             concurrency_paths=_rule_fixtures(),
             concurrency_baseline=baseline,
             update_concurrency_baseline=True,
+            allow_baseline_growth=True,
         )
         assert first.baseline_written == baseline
         # The freshly written baseline applies within the same run.
@@ -216,6 +281,7 @@ class TestRunnerWiring:
             concurrency_paths=[_fixture_path("conc_rsc602_bad.py")],
             concurrency_baseline=baseline,
             update_concurrency_baseline=True,
+            allow_baseline_growth=True,
         )
         run = run_check(
             concurrency=True,
@@ -232,6 +298,56 @@ class TestRunnerWiring:
         assert len(revoked) == 1
         assert "promoted to error" in revoked[0].message
         assert any("revoked" in target.name for target in run.targets)
+
+
+class TestSanitizeScenarioWiring:
+    def _capture_config(self, monkeypatch):
+        import repro.staticcheck.concurrency as concurrency_package
+
+        captured = {}
+
+        def recording_sanitizer(config=None, report=None):
+            captured["config"] = config
+            return Report(), SanitizerOutcome(runs=1, failures=0, artifacts=[])
+
+        monkeypatch.setattr(
+            concurrency_package, "run_sanitizer", recording_sanitizer
+        )
+        return captured
+
+    def test_run_check_passes_scenarios_to_the_sanitizer(self, monkeypatch):
+        captured = self._capture_config(monkeypatch)
+        run = run_check(
+            sanitize_seeds=(1,), sanitize_scenarios=["large_churn"]
+        )
+        assert run.report.ok
+        assert captured["config"].scenarios == ["large_churn"]
+
+    def test_run_check_defaults_to_the_whole_profile(self, monkeypatch):
+        captured = self._capture_config(monkeypatch)
+        run_check(sanitize_seeds=(1,))
+        assert captured["config"].scenarios is None
+
+    def test_cli_flag_reaches_the_sanitizer(self, monkeypatch):
+        captured = self._capture_config(monkeypatch)
+        assert (
+            main(
+                [
+                    "check",
+                    "--sanitize",
+                    "1",
+                    "--sanitize-profile",
+                    "small",
+                    "--sanitize-scenarios",
+                    "large_churn",
+                    "inject_to_retire",
+                ]
+            )
+            == 0
+        )
+        config = captured["config"]
+        assert config.profile == "small"
+        assert config.scenarios == ["large_churn", "inject_to_retire"]
 
 
 class TestExplainCli:

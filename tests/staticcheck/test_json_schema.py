@@ -50,9 +50,17 @@ class TestCodeRegistry:
         missing = set(KNOWN_CODES) - documented
         assert not missing, "codes missing from docs/architecture.md: %s" % sorted(missing)
 
-    def test_registry_covers_all_six_pass_families(self):
+    def test_registry_covers_all_seven_pass_families(self):
         families = {code[:4] for code in KNOWN_CODES}
-        assert families == {"RSC1", "RSC2", "RSC3", "RSC4", "RSC5", "RSC6"}
+        assert families == {
+            "RSC1",
+            "RSC2",
+            "RSC3",
+            "RSC4",
+            "RSC5",
+            "RSC6",
+            "RSC7",
+        }
 
     def test_descriptions_are_single_line(self):
         for code, description in KNOWN_CODES.items():

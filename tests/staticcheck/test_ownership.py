@@ -1,0 +1,425 @@
+"""Pass 7 (ownership & lock discipline) rules, contract grammar, and wiring.
+
+The ``own_*`` fixtures under ``fixtures/`` are each crafted to trigger
+exactly one RSC70x code (plus one annotated-clean fixture that touches
+every rule and must stay silent).  The tests here pin that
+one-finding-per-file property, the contract-comment grammar (verified,
+not trusted), domain inference, the runner/CLI wiring, and the
+``--thread-ready`` composite gate.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck.concurrency.accessmap import build_module_map
+from repro.staticcheck.diagnostics import Report, Severity
+from repro.staticcheck.ownership import (
+    DOMAINS,
+    OwnershipAnnotations,
+    check_ownership,
+    check_source,
+    default_ownership_paths,
+    infer_domain,
+)
+from repro.staticcheck.runner import run_check
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+RULE_CODES = ["RSC700", "RSC701", "RSC702", "RSC703", "RSC704"]
+
+
+def _fixture_path(name):
+    return os.path.join(FIXTURES, name)
+
+
+def _check_fixture(name):
+    path = _fixture_path(name)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    report = Report()
+    check_source(source, path, name[: -len(".py")], report)
+    return report.diagnostics
+
+
+def _rule_fixtures():
+    return [_fixture_path("own_%s_bad.py" % code.lower()) for code in RULE_CODES]
+
+
+def _check_snippet(source, module="snippet"):
+    report = Report()
+    check_source(source, "%s.py" % module, module, report)
+    return report.diagnostics
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_each_rule_fires_exactly_once_on_its_fixture(self, code):
+        diagnostics = _check_fixture("own_%s_bad.py" % code.lower())
+        assert [d.code for d in diagnostics] == [code]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_finding_components_are_stable_keys(self):
+        expected = {
+            "RSC700": "Register:total",
+            "RSC701": "Tally.bump:total",
+            "RSC702": "TwoLocks:lock_a->lock_b",
+            "RSC703": "Cursor:position",
+            "RSC704": "Meter.poke:total",
+        }
+        for code, tail in expected.items():
+            (diagnostic,) = _check_fixture("own_%s_bad.py" % code.lower())
+            assert diagnostic.component == "%s own_%s_bad:%s" % (
+                code,
+                code.lower(),
+                tail,
+            )
+
+    def test_annotated_clean_fixture_is_silent(self):
+        assert _check_fixture("own_clean_ok.py") == []
+
+    def test_check_ownership_accepts_explicit_file_paths(self):
+        report = check_ownership(_rule_fixtures())
+        assert sorted(d.code for d in report.diagnostics) == RULE_CODES
+        assert not report.ok
+
+
+class TestContractGrammar:
+    def test_unknown_domain_is_rejected(self):
+        (diagnostic,) = _check_snippet(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0  # repro: owned-by: exclusive\n"
+        )
+        assert diagnostic.code == "RSC700"
+        assert "exclusive" in diagnostic.message
+        for domain in DOMAINS:
+            assert domain in diagnostic.message
+
+    def test_guard_must_name_a_class_attribute(self):
+        (diagnostic,) = _check_snippet(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0  # repro: guarded-by: missing_lock\n"
+        )
+        assert diagnostic.code == "RSC700"
+        assert "missing_lock" in diagnostic.message
+
+    def test_dangling_comment_is_reported(self):
+        (diagnostic,) = _check_snippet(
+            "# repro: owned-by: shared\n"
+            "TOP_LEVEL = 0\n"
+        )
+        assert diagnostic.code == "RSC700"
+        assert "dangl" in diagnostic.message.lower()
+
+    def test_trailing_annotation_does_not_leak_to_next_line(self):
+        # A trailing comment anchors only to its own declaration; the
+        # next line's unannotated attribute must not inherit it.
+        annotations = OwnershipAnnotations(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = 0  # repro: owned-by: shared\n"
+            "        self.b = 0\n"
+        )
+        assert [a.value for a in annotations.at(3)] == ["shared"]
+        assert annotations.at(4) == []
+
+    def test_standalone_annotation_anchors_to_the_line_below(self):
+        annotations = OwnershipAnnotations(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        # repro: guarded-by: lock\n"
+            "        self.table = {}\n"
+        )
+        (annotation,) = annotations.at(4)
+        assert annotation.kind == "guarded-by"
+        assert annotation.value == "lock"
+        assert annotation.standalone
+
+    def test_syntax_error_surfaces_as_rsc700(self):
+        (diagnostic,) = _check_snippet("def broken(:\n")
+        assert diagnostic.code == "RSC700"
+
+
+class TestDomainInference:
+    SOURCE = (
+        "class Probe:\n"
+        "    def __init__(self):\n"
+        "        self.confined = 0\n"
+        "        self.solo = 0\n"
+        "        self.contested = 0\n"
+        "    def handle_message(self, m):\n"
+        "        self.confined += 1\n"
+        "    def seek(self):\n"
+        "        self.solo = 1\n"
+        "    def reset(self):\n"
+        "        self.contested = 0\n"
+        "    def bump(self):\n"
+        "        self.contested += 1\n"
+    )
+
+    def _class_map(self):
+        import ast
+
+        tree = ast.parse(self.SOURCE)
+        module_map = build_module_map(tree, "probe.py", "probe")
+        return next(c for c in module_map.classes if c.name == "Probe")
+
+    def test_three_way_inference(self):
+        class_map = self._class_map()
+        assert infer_domain(class_map, "confined") == "sim-loop-confined"
+        assert infer_domain(class_map, "solo") == "single-writer"
+        assert infer_domain(class_map, "contested") == "shared"
+
+    def test_sim_loop_confined_contradiction_is_rsc703(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.events = 0  # repro: owned-by: sim-loop-confined\n"
+            "    def poke_from_anywhere(self):\n"
+            "        self.events += 1\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC703"
+        assert "poke_from_anywhere" in diagnostic.message
+
+    def test_shared_is_the_weakest_claim_and_never_contradicted(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        # repro: owned-by: shared\n"
+            "        self.x = 0  # repro: guarded-by: lock\n"
+            "    def only_writer(self):\n"
+            "        with self.lock:\n"
+            "            self.x = 1\n"
+        )
+        # Declared shared but actually single-writer: over-claiming is
+        # fine (RSC703 silent); the guarded write keeps RSC701 silent.
+        assert _check_snippet(source) == []
+
+
+class TestGuardDiscipline:
+    def test_guarded_writes_are_clean(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        # repro: guarded-by: lock\n"
+            "        self.table = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self.lock:\n"
+            "            self.table[k] = v\n"
+        )
+        assert _check_snippet(source) == []
+
+    def test_unguarded_write_to_guarded_attr_is_rsc701(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+            "        self.slot = 0  # repro: guarded-by: lock\n"
+            "    def stomp(self):\n"
+            "        self.slot = 1\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC701"
+        assert "lock" in diagnostic.message
+
+    def test_call_propagated_lock_order_cycle(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def outer(self):\n"
+            "        with self.a:\n"
+            "            self.inner()\n"
+            "    def inner(self):\n"
+            "        with self.b:\n"
+            "            pass\n"
+            "    def backward(self):\n"
+            "        with self.b:\n"
+            "            with self.a:\n"
+            "                pass\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC702"
+        assert "a" in diagnostic.component and "b" in diagnostic.component
+
+    def test_consistent_order_has_no_cycle(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+        )
+        assert _check_snippet(source) == []
+
+
+class TestHelperMisuse:
+    def test_container_mutator_through_helper_is_rsc704(self):
+        source = (
+            "from repro.core.atomics import TokenLedger\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.owed = TokenLedger()  # repro: owned-by: shared\n"
+            "    def cheat(self):\n"
+            "        self.owed.balances.update({1: 2})\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC704"
+
+    def test_rebinding_helper_outside_init_is_rsc704(self):
+        source = (
+            "from repro.core.atomics import AtomicCounter\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.total = AtomicCounter()  # repro: owned-by: shared\n"
+            "    def reset_hard(self):\n"
+            "        self.total = AtomicCounter()\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC704"
+        assert "rebind" in diagnostic.message.lower()
+
+    def test_subscript_store_through_helper_is_rsc704(self):
+        source = (
+            "from repro.core.atomics import PerWireCounters\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.wires = PerWireCounters()  # repro: owned-by: shared\n"
+            "    def cheat(self):\n"
+            "        self.wires.counters[3] = 7\n"
+        )
+        (diagnostic,) = _check_snippet(source)
+        assert diagnostic.code == "RSC704"
+
+    def test_sanctioned_mutating_methods_are_clean(self):
+        source = (
+            "from repro.core.atomics import AtomicCounter, TokenLedger\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.total = AtomicCounter()  # repro: owned-by: shared\n"
+            "        self.owed = TokenLedger()  # repro: owned-by: shared\n"
+            "    def handle_message(self, m):\n"
+            "        self.total.increment()\n"
+            "        self.owed.post(m)\n"
+            "    def drain(self, k):\n"
+            "        self.owed.settle(k)\n"
+        )
+        assert _check_snippet(source) == []
+
+
+class TestDefaultTreeCertified:
+    def test_runtime_packages_pass_ownership_clean(self):
+        # The whole point of the PR: the shipped tree satisfies its own
+        # ownership contracts with zero findings and zero baseline.
+        report = check_ownership()
+        assert report.ok, [d.component for d in report.diagnostics]
+
+    def test_default_paths_mirror_concurrency_packages(self):
+        paths = default_ownership_paths()
+        assert paths
+        assert all(os.path.isdir(p) for p in paths)
+
+
+class TestRunnerWiring:
+    def test_ownership_pass_reports_through_run_check(self):
+        run = run_check(ownership=True, ownership_paths=_rule_fixtures())
+        assert not run.report.ok
+        assert [p.name for p in run.passes] == ["ownership"]
+        payload = run.to_json_payload()
+        assert {p["name"] for p in payload["passes"]} == {"ownership"}
+        assert payload["passes"][0]["findings"] == len(RULE_CODES)
+
+    def test_thread_ready_composes_all_three_gates(self, tmp_path, monkeypatch):
+        import repro.staticcheck.concurrency as concurrency_package
+        from repro.staticcheck.concurrency import SanitizerOutcome
+
+        def passing_sanitizer(config=None, report=None):
+            return Report(), SanitizerOutcome(runs=2, failures=0, artifacts=[])
+
+        monkeypatch.setattr(
+            concurrency_package, "run_sanitizer", passing_sanitizer
+        )
+        baseline = str(tmp_path / "EMPTY_BASELINE.txt")
+        run = run_check(
+            thread_ready=True,
+            concurrency_baseline=baseline,
+        )
+        assert run.report.ok
+        names = [target.name for target in run.targets]
+        assert any("sanitizer" in name for name in names)
+        assert any("strict: no baseline applied" in name for name in names)
+        assert any(name.startswith("ownership") for name in names)
+
+    def test_thread_ready_rejects_a_nonempty_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.staticcheck.concurrency as concurrency_package
+        from repro.staticcheck.concurrency import SanitizerOutcome
+
+        def passing_sanitizer(config=None, report=None):
+            return Report(), SanitizerOutcome(runs=2, failures=0, artifacts=[])
+
+        monkeypatch.setattr(
+            concurrency_package, "run_sanitizer", passing_sanitizer
+        )
+        baseline = tmp_path / "BASE.txt"
+        baseline.write_text("RSC602 ghost_module:Ghost.method:total\n")
+        run = run_check(
+            thread_ready=True,
+            concurrency_baseline=str(baseline),
+        )
+        assert not run.report.ok
+        assert any(
+            "thread-readiness requires an empty concurrency baseline"
+            in d.message
+            for d in run.report.diagnostics
+        )
+
+
+class TestCli:
+    def test_ownership_findings_exit_1(self):
+        assert (
+            main(
+                ["check", "--ownership", "--ownership-paths"]
+                + _rule_fixtures()
+            )
+            == 1
+        )
+
+    def test_ownership_clean_fixture_exits_0(self):
+        assert (
+            main(
+                [
+                    "check",
+                    "--ownership",
+                    "--ownership-paths",
+                    _fixture_path("own_clean_ok.py"),
+                ]
+            )
+            == 0
+        )
+
+    def test_explain_covers_pass7(self, capsys):
+        assert main(["check", "--explain", "RSC702"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RSC702")
+        assert "Rationale:" in out

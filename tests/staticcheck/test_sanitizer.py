@@ -64,6 +64,51 @@ class TestFingerprint:
         }
 
 
+class TestScenarioSelection:
+    def test_smoke_profile_keeps_large_churn_in_the_default_sweep(self):
+        # The churn path (joins, crashes, handoff) is where schedule
+        # perturbation bites hardest; the default smoke sweep — what CI
+        # runs — must never silently drop it.
+        from repro.bench.harness import PROFILES
+
+        assert "large_churn" in PROFILES["smoke"]
+        config = SanitizerConfig()
+        selected = (
+            list(config.scenarios)
+            if config.scenarios is not None
+            else list(PROFILES[config.profile])
+        )
+        assert "large_churn" in selected
+
+    def test_explicit_scenarios_restrict_the_sweep(self, monkeypatch):
+        ran = []
+
+        def recording_bench(profile, seed, only=None):
+            ran.append(tuple(only))
+            return [_result()]
+
+        monkeypatch.setattr(sanitize_module, "run_bench", recording_bench)
+        config = SanitizerConfig(seeds=(1,), scenarios=["large_churn"])
+        report, outcome = run_sanitizer(config)
+        assert report.ok
+        assert outcome.runs == 1
+        assert set(ran) == {("large_churn",)}
+
+    def test_default_sweep_covers_every_profile_scenario(self, monkeypatch):
+        from repro.bench.harness import PROFILES
+
+        ran = []
+
+        def recording_bench(profile, seed, only=None):
+            ran.append(only[0])
+            return [_result()]
+
+        monkeypatch.setattr(sanitize_module, "run_bench", recording_bench)
+        report, outcome = run_sanitizer(SanitizerConfig(seeds=(1,)))
+        assert report.ok
+        assert set(ran) == set(PROFILES["smoke"])
+
+
 class TestFailurePaths:
     def test_crash_yields_rsc610_and_artifact(self, tmp_path, monkeypatch):
         def exploding_bench(profile, seed, only=None):
