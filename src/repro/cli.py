@@ -267,6 +267,8 @@ def cmd_bench(args) -> int:
     )
     from repro.errors import BenchmarkError
 
+    if args.backend == "threads":
+        return _bench_threads(args)
     recorder = None
     if args.trace or args.metrics_out:
         from repro.obs import Recorder
@@ -335,6 +337,55 @@ def cmd_bench(args) -> int:
         if not ok:
             exit_code = 1
     return exit_code
+
+
+def _bench_threads(args) -> int:
+    """``repro bench --backend threads``: the contended fetch-and-inc
+    sweep. Every cell is verified (zero lost tokens, step property at
+    quiescence) before its numbers are reported; a violated invariant
+    is exit 2, not a payload."""
+    import json
+
+    from repro.errors import BenchmarkError
+    from repro.threads.bench import (
+        format_threads_results,
+        run_threads_bench,
+        to_threads_json_payload,
+    )
+
+    unsupported = [
+        (flag, value)
+        for flag, value in (
+            ("--scenario", args.scenario),
+            ("--baseline", args.baseline),
+            ("--trace", args.trace),
+            ("--metrics-out", args.metrics_out),
+        )
+        if value
+    ]
+    if unsupported:
+        print(
+            "repro bench: error: %s not supported with --backend threads "
+            "(the sweep is wall-clock and unrecorded; no committed baseline "
+            "gates it)" % ", ".join(flag for flag, _ in unsupported),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        results = run_threads_bench(profile=args.profile, seed=args.seed)
+    except BenchmarkError as exc:
+        print("repro bench: error: %s" % exc, file=sys.stderr)
+        return 2
+    payload = to_threads_json_payload(results, args.profile, args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_threads_results(results))
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -582,6 +633,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["smoke", "small", "large"],
         default="small",
         help="workload size (smoke is the CI gate, small the committed baseline)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=["sim", "threads"],
+        default="sim",
+        help="execution backend: the discrete-event simulator (default) or "
+        "real OS threads through the shared-memory counting network "
+        "(contended fetch-and-inc sweep, repro.threads)",
     )
     bench.add_argument("--seed", type=int, default=0, help="workload random seed")
     bench.add_argument(

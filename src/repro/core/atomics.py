@@ -15,9 +15,18 @@ Two flavors exist:
   facade with no synchronization — byte-identical arithmetic to the
   raw-int code it replaced, and cheap enough for the simulator's hot
   path;
-* the **locked** flavor (``Locked*``) wraps every mutation in a
-  ``threading.Lock`` — the conservative implementation a shared-memory
-  backend starts from.
+* the **locked** flavor (``Locked*``) wraps every mutation *and every
+  read that observes mutable state* in a ``threading.Lock`` — the
+  conservative implementation a shared-memory backend starts from.
+  Read paths route through ``get()``/``snapshot()`` precisely so the
+  locked subclasses can intercept them: a comparison against a locked
+  counter acquires that counter's lock for the read.
+
+One lock-free helper exists outside the flavors:
+:class:`ThreadSafeToggle`, a balancer toggle whose ``flip()`` is a
+single C-level fetch-and-add (``next()`` on ``itertools.count``) that
+the GIL makes atomic — the hot-path toggle of the threads backend. On
+free-threaded builds (PEP 703) it degrades to an internal lock.
 
 Backends select a flavor through :func:`flavor` /
 :class:`AtomicsFlavor` rather than naming classes, so swapping the
@@ -33,6 +42,8 @@ at the internals.
 
 from __future__ import annotations
 
+import itertools
+import sys
 import threading
 from dataclasses import dataclass
 from typing import (
@@ -98,69 +109,79 @@ class AtomicCounter:
         self._value = int(value)
 
     # -- int facade -----------------------------------------------------
+    # Every read dunder routes through get() so that Locked* subclasses
+    # make *reads* lock-consistent by overriding one method; comparisons
+    # read the other side through its get() too (see _as_number), so a
+    # locked counter on either side of `a == b` is read under its own
+    # lock. Each side's lock is taken and released independently —
+    # neither is held while acquiring the other — so cross-comparing
+    # two locked counters cannot deadlock.
     def __int__(self) -> int:
-        return self._value
+        return self.get()
 
     def __index__(self) -> int:
-        return self._value
+        return self.get()
 
     def __bool__(self) -> bool:
-        return bool(self._value)
+        return bool(self.get())
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, AtomicCounter):
-            return self._value == other._value
+            return self.get() == other.get()
         if isinstance(other, (int, float)):
-            return self._value == other
+            return self.get() == other
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
+        # Explicit mirror of __eq__ (kept next to it by the Pass 7
+        # audit): preserves NotImplemented so reflected comparisons
+        # against foreign types still work.
         result = self.__eq__(other)
         if result is NotImplemented:
             return result
         return not result
 
     def __lt__(self, other: Any) -> bool:
-        return self._value < _as_number(other)
+        return self.get() < _as_number(other)
 
     def __le__(self, other: Any) -> bool:
-        return self._value <= _as_number(other)
+        return self.get() <= _as_number(other)
 
     def __gt__(self, other: Any) -> bool:
-        return self._value > _as_number(other)
+        return self.get() > _as_number(other)
 
     def __ge__(self, other: Any) -> bool:
-        return self._value >= _as_number(other)
+        return self.get() >= _as_number(other)
 
     def __add__(self, other: Any) -> Number:
-        return self._value + _as_number(other)
+        return self.get() + _as_number(other)
 
     def __radd__(self, other: Any) -> Number:
-        return _as_number(other) + self._value
+        return _as_number(other) + self.get()
 
     def __sub__(self, other: Any) -> Number:
-        return self._value - _as_number(other)
+        return self.get() - _as_number(other)
 
     def __rsub__(self, other: Any) -> Number:
-        return _as_number(other) - self._value
+        return _as_number(other) - self.get()
 
     def __mul__(self, other: Any) -> Number:
-        return self._value * _as_number(other)
+        return self.get() * _as_number(other)
 
     def __rmul__(self, other: Any) -> Number:
-        return _as_number(other) * self._value
+        return _as_number(other) * self.get()
 
     def __truediv__(self, other: Any) -> float:
-        return self._value / _as_number(other)
+        return self.get() / _as_number(other)
 
     def __rtruediv__(self, other: Any) -> float:
-        return _as_number(other) / self._value
+        return _as_number(other) / self.get()
 
     def __floordiv__(self, other: Any) -> Number:
-        return self._value // _as_number(other)
+        return self.get() // _as_number(other)
 
     def __mod__(self, other: Any) -> Number:
-        return self._value % _as_number(other)
+        return self.get() % _as_number(other)
 
     def __iadd__(self, other: int) -> "AtomicCounter":
         # `c += n` rebinds to the same object after one atomic add, so
@@ -185,7 +206,12 @@ class AtomicCounter:
 
 
 class LockedAtomicCounter(AtomicCounter):
-    """:class:`AtomicCounter` with every mutation under a lock."""
+    """:class:`AtomicCounter` with every mutation *and read* locked.
+
+    The base class funnels all observation — ``int()``, ``bool()``,
+    comparisons, arithmetic — through :meth:`get`, so locking it here
+    makes the whole read surface lock-consistent with the writers.
+    """
 
     __slots__ = ("_lock",)
 
@@ -208,6 +234,10 @@ class LockedAtomicCounter(AtomicCounter):
     def set(self, value: int) -> None:
         with self._lock:
             super().set(value)
+
+    def get(self) -> int:
+        with self._lock:
+            return super().get()
 
 
 class PerWireCounters:
@@ -274,10 +304,13 @@ class PerWireCounters:
         return iter(self._values)
 
     def __eq__(self, other: object) -> bool:
+        # snapshot() both sides so a locked counter array is read under
+        # its own lock; the two snapshots are taken one after the other
+        # (never nested), so locked-vs-locked comparison cannot deadlock.
         if isinstance(other, PerWireCounters):
-            return self._values == other._values
+            return self.snapshot() == other.snapshot()
         if isinstance(other, (list, tuple)):
-            return self._values == list(other)
+            return self.snapshot() == list(other)
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -326,6 +359,28 @@ class LockedPerWireCounters(PerWireCounters):
         with self._lock:
             return super().snapshot()
 
+    # -- locked reads ---------------------------------------------------
+    def get(self, index: int) -> int:
+        with self._lock:
+            return super().get(index)
+
+    def __getitem__(self, index: int) -> int:
+        with self._lock:
+            return super().__getitem__(index)
+
+    def __setitem__(self, index: int, value: int) -> None:
+        with self._lock:
+            super().__setitem__(index, value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def __iter__(self) -> Iterator[int]:
+        # Iterate a point-in-time copy: handing out a live iterator over
+        # ``_values`` would read it after the lock is released.
+        return iter(self.snapshot())
+
 
 class ToggleBit:
     """A balancer's toggle: ``flip()`` returns the prior bit and
@@ -354,7 +409,7 @@ class ToggleBit:
 
 
 class LockedToggleBit(ToggleBit):
-    """:class:`ToggleBit` with the flip under a lock."""
+    """:class:`ToggleBit` with flips *and reads* under a lock."""
 
     __slots__ = ("_lock",)
 
@@ -366,9 +421,63 @@ class LockedToggleBit(ToggleBit):
         with self._lock:
             return super().flip()
 
+    def read(self) -> int:
+        with self._lock:
+            return super().read()
+
     def set(self, bit: int) -> None:
         with self._lock:
             super().set(bit)
+
+
+def _gil_enabled() -> bool:
+    """Whether this interpreter runs with the GIL (always true before
+    the free-threaded builds of 3.13; ``sys._is_gil_enabled`` after)."""
+    checker = getattr(sys, "_is_gil_enabled", None)
+    if checker is None:
+        return True
+    return bool(checker())
+
+
+class ThreadSafeToggle:
+    """A lock-free balancer toggle for the shared-memory backend.
+
+    ``flip()`` draws from an ``itertools.count``: ``next()`` on a C
+    iterator is one bytecode whose whole effect happens under the GIL,
+    so concurrent flips each observe a distinct tick — a genuine
+    fetch-and-add with no lock, no matter how many threads contend
+    (the cybozu ``Balancer2x2::get`` = ``fetch_add(&value, 1) % 2``
+    pattern). The flip sequence is bit-identical to
+    :class:`ToggleBit`: the i-th flip returns ``(initial + i) % 2``.
+
+    On free-threaded builds (PEP 703, no GIL) a shared C iterator is no
+    longer atomic, so the constructor detects that and routes flips
+    through an internal lock instead — same semantics, locked speed.
+
+    Deliberately not part of an :class:`AtomicsFlavor`: the tick
+    counter only supports ``flip()`` (a toggle you could ``set`` or
+    ``read`` mid-flight would need the lock the whole point is to
+    avoid). Quiescent state lives in the retirement counters, not here.
+    """
+
+    __slots__ = ("_ticks", "_lock")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._ticks = itertools.count(int(initial) & 1)
+        self._lock: Optional[threading.Lock] = (
+            None if _gil_enabled() else threading.Lock()
+        )
+
+    def flip(self) -> int:
+        """Atomically toggle; return the bit *before* the flip."""
+        lock = self._lock
+        if lock is None:
+            return next(self._ticks) & 1
+        with lock:
+            return next(self._ticks) & 1
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
 
 
 class TokenLedger(Generic[K]):
@@ -471,10 +580,12 @@ class TokenLedger(Generic[K]):
         return bool(self._entries)
 
     def __eq__(self, other: object) -> bool:
+        # snapshot() both sides (sequentially, never nested) so locked
+        # ledgers are read under their own lock without deadlock risk.
         if isinstance(other, TokenLedger):
-            return self._entries == other._entries
+            return self.snapshot() == other.snapshot()
         if isinstance(other, dict):
-            return self._entries == other
+            return self.snapshot() == other
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -522,6 +633,24 @@ class LockedTokenLedger(TokenLedger[K]):
     def snapshot(self) -> Dict[K, int]:
         with self._lock:
             return super().snapshot()
+
+    # -- locked reads ---------------------------------------------------
+    # Single-key reads (balance/get/__getitem__/__contains__/__len__)
+    # stay lock-free: each is one C-level dict operation, atomic under
+    # the GIL (see :meth:`TokenLedger.reader`). Iteration is not — it
+    # interleaves with writers — so the iterating reads go through a
+    # locked snapshot.
+    def keys(self) -> Iterable[K]:
+        return self.snapshot().keys()
+
+    def items(self) -> Iterable[Tuple[K, int]]:
+        return self.snapshot().items()
+
+    def values(self) -> Iterable[int]:
+        return self.snapshot().values()
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self.snapshot())
 
 
 class GuardedMap(Generic[K, V]):
@@ -594,10 +723,12 @@ class GuardedMap(Generic[K, V]):
         return bool(self._entries)
 
     def __eq__(self, other: object) -> bool:
+        # snapshot() both sides (sequentially, never nested) so locked
+        # maps are read under their own lock without deadlock risk.
         if isinstance(other, GuardedMap):
-            return self._entries == other._entries
+            return self.snapshot() == other.snapshot()
         if isinstance(other, dict):
-            return self._entries == other
+            return self.snapshot() == other
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -641,6 +772,22 @@ class LockedGuardedMap(GuardedMap[K, V]):
     def snapshot(self) -> Dict[K, V]:
         with self._lock:
             return super().snapshot()
+
+    # -- locked reads ---------------------------------------------------
+    # Same policy as LockedTokenLedger: single-key reads are one
+    # GIL-atomic dict operation and stay lock-free; iteration reads a
+    # locked point-in-time snapshot.
+    def keys(self) -> Iterable[K]:
+        return self.snapshot().keys()
+
+    def values(self) -> Iterable[V]:
+        return self.snapshot().values()
+
+    def items(self) -> Iterable[Tuple[K, V]]:
+        return self.snapshot().items()
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self.snapshot())
 
 
 @dataclass(frozen=True)
@@ -697,7 +844,8 @@ def flavor(name: str) -> AtomicsFlavor:
 
 def _as_number(other: Any) -> Number:
     if isinstance(other, AtomicCounter):
-        return other._value
+        # get(), not _value: a locked counter must be read under its lock.
+        return other.get()
     if isinstance(other, (int, float)):
         return other
     raise TypeError(
@@ -718,6 +866,7 @@ __all__ = [
     "LockedTokenLedger",
     "PerWireCounters",
     "SINGLE_THREAD",
+    "ThreadSafeToggle",
     "ToggleBit",
     "TokenLedger",
     "flavor",

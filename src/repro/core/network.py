@@ -11,11 +11,20 @@ The model supports token-level and quiescent batch semantics, and the
 comparator-network view used by the counting <-> sorting correspondence
 of Aspnes-Herlihy-Shavit (a balancing network counts only if replacing
 every balancer by a max-up comparator yields a sorting network).
+
+Topology construction is shared between execution backends through
+:func:`compile_topology`: the layered wiring compiles once into a flat
+``table[layer][wire] -> (balancer, next_top, next_bottom)`` array
+layout (the shape of cybozu's ``CountingNetwork4/8``), which the
+simulator-facing :class:`BalancingNetwork` walks with plain-int
+toggles and the shared-memory backend (:mod:`repro.threads`) walks
+with genuinely atomic ones.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atomics import PerWireCounters
 from repro.core.components import balanced_counts
@@ -24,7 +33,109 @@ from repro.errors import StructureError
 Layer = List[Tuple[int, int]]
 
 #: One routing-table entry: ``(balancer_index, top_wire, bottom_wire)``.
+#: In a :class:`CompiledTopology`'s per-layer tables the balancer index
+#: is *layer-local* (it indexes that layer's toggle array); the
+#: flattened tables of :meth:`CompiledTopology.flat_tables` use the
+#: *global* balancer index instead (one toggle array for the whole
+#: network — the layout a shared-memory backend wants).
 RouteEntry = Tuple[int, int, int]
+
+RoutingTable = List[Optional[RouteEntry]]
+
+
+@dataclass(frozen=True)
+class CompiledTopology:
+    """One validated, compiled network topology.
+
+    Both execution backends consume this: :class:`BalancingNetwork`
+    adopts the per-layer ``routing`` tables (layer-local balancer
+    indices, matching its per-layer toggle arrays), while
+    :mod:`repro.threads` flattens them to global balancer indices via
+    :meth:`flat_tables`. Compiling is the *only* way topology state is
+    produced, so the two backends can never disagree about the wiring.
+    """
+
+    width: int
+    layers: Tuple[Tuple[Tuple[int, int], ...], ...]
+    output_order: Tuple[int, ...]
+    #: ``routing[layer][wire]`` -> layer-local :data:`RouteEntry` or None.
+    routing: Tuple[Tuple[Optional[RouteEntry], ...], ...]
+    #: Global balancer index of each layer's first balancer.
+    layer_offsets: Tuple[int, ...]
+    num_balancers: int
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def position(self) -> Dict[int, int]:
+        """``wire -> network output position`` mapping."""
+        return {wire: j for j, wire in enumerate(self.output_order)}
+
+    def mutable_layers(self) -> List[Layer]:
+        """The layers as the nested lists :class:`BalancingNetwork`
+        historically exposes (``net.layers``)."""
+        return [[(top, bottom) for top, bottom in layer] for layer in self.layers]
+
+    def mutable_routing(self) -> List[RoutingTable]:
+        """Per-layer routing tables as mutable lists (layer-local
+        balancer indices)."""
+        return [list(table) for table in self.routing]
+
+    def flat_tables(self) -> List[RoutingTable]:
+        """Routing tables re-indexed with *global* balancer indices.
+
+        ``flat_tables()[layer][wire]`` is ``(balancer, next_top,
+        next_bottom)`` where ``balancer`` indexes one flat array of
+        ``num_balancers`` toggles — the cybozu ``network_[layer][wire]``
+        layout consumed by the threads backend.
+        """
+        tables: List[RoutingTable] = []
+        for offset, table in zip(self.layer_offsets, self.routing):
+            flat: RoutingTable = [
+                None if entry is None else (offset + entry[0], entry[1], entry[2])
+                for entry in table
+            ]
+            tables.append(flat)
+        return tables
+
+
+def compile_topology(
+    width: int, layers: Sequence[Layer], output_order: Sequence[int]
+) -> CompiledTopology:
+    """Validate a layered wiring and compile its routing tables.
+
+    Raises :class:`StructureError` on an invalid topology *before*
+    building anything, so callers can validate-then-swap atomically.
+    """
+    if sorted(output_order) != list(range(width)):
+        raise StructureError("output_order must be a permutation of the wires")
+    for layer in layers:
+        used = [wire for pair in layer for wire in pair]
+        if len(set(used)) != len(used):
+            raise StructureError("a wire appears twice in one layer")
+        if any(not 0 <= wire < width for wire in used):
+            raise StructureError("wire id out of range in layer")
+    routing: List[Tuple[Optional[RouteEntry], ...]] = []
+    offsets: List[int] = []
+    num_balancers = 0
+    for layer in layers:
+        table: RoutingTable = [None] * width
+        for index, (top, bottom) in enumerate(layer):
+            entry = (index, top, bottom)
+            table[top] = entry
+            table[bottom] = entry
+        routing.append(tuple(table))
+        offsets.append(num_balancers)
+        num_balancers += len(layer)
+    return CompiledTopology(
+        width=width,
+        layers=tuple(tuple(pair for pair in layer) for layer in layers),
+        output_order=tuple(output_order),
+        routing=tuple(routing),
+        layer_offsets=tuple(offsets),
+        num_balancers=num_balancers,
+    )
 
 
 class BalancingNetwork:
@@ -37,32 +148,31 @@ class BalancingNetwork:
     """
 
     def __init__(self, width: int, layers: Sequence[Layer], output_order: Sequence[int]):
-        if sorted(output_order) != list(range(width)):
-            raise StructureError("output_order must be a permutation of the wires")
-        for layer in layers:
-            used = [wire for pair in layer for wire in pair]
-            if len(set(used)) != len(used):
-                raise StructureError("a wire appears twice in one layer")
-            if any(not 0 <= wire < width for wire in used):
-                raise StructureError("wire id out of range in layer")
+        topology = compile_topology(width, layers, output_order)
         self.width = width
-        self.layers = [list(layer) for layer in layers]
-        self.output_order = list(output_order)
-        self._position = {wire: j for j, wire in enumerate(output_order)}
-        # One toggle per balancer: tokens seen so far.
-        self._toggles = [[0] * len(layer) for layer in self.layers]
         self.output_counts = PerWireCounters(width)  # repro: owned-by: shared
+        self._adopt(topology)
+
+    def _adopt(self, topology: CompiledTopology) -> None:
+        """Swap in a compiled topology and fresh toggles, together.
+
+        Routing tables, the layer list, the output permutation, and the
+        balancer toggles are all derived from one another; replacing a
+        subset (rebuilding routing after a split/merge while keeping the
+        old toggle arrays, say) silently desynchronizes
+        :meth:`feed_token` from :meth:`feed_token_scan`. This is the
+        single point where any of them changes.
+        """
+        self.layers = topology.mutable_layers()
+        self.output_order = list(topology.output_order)
+        self.topology = topology
+        self._position = topology.position()
         # Per-layer routing tables: ``table[wire]`` is the balancer
         # touching ``wire`` in that layer (or None), so routing one
         # token is O(depth) instead of a scan over every balancer.
-        self._routing: List[List[Optional[RouteEntry]]] = []
-        for layer in self.layers:
-            table: List[Optional[RouteEntry]] = [None] * width
-            for index, (top, bottom) in enumerate(layer):
-                entry = (index, top, bottom)
-                table[top] = entry
-                table[bottom] = entry
-            self._routing.append(table)
+        self._routing: List[RoutingTable] = topology.mutable_routing()
+        # One toggle per balancer: tokens seen so far.
+        self._toggles = [[0] * len(layer) for layer in self.layers]
 
     @property
     def depth(self) -> int:
@@ -77,6 +187,23 @@ class BalancingNetwork:
         """Return every toggle and counter to the initial state."""
         self._toggles = [[0] * len(layer) for layer in self.layers]
         self.output_counts.reset()
+
+    def rebuild(self, layers: Sequence[Layer], output_order: Optional[Sequence[int]] = None) -> None:
+        """Atomically replace the topology after a split/merge.
+
+        Validates and compiles the new wiring first — an invalid
+        topology raises :class:`StructureError` and leaves the network
+        untouched — then swaps layers, routing tables, the output
+        permutation, *and* fresh zeroed toggles in one step. Rebuilding
+        routing while preserving stale toggle state is exactly the
+        drift :meth:`feed_token` vs :meth:`feed_token_scan` cannot
+        detect, so no piecemeal mutation path exists. The cumulative
+        ``output_counts`` are preserved: the network keeps retiring
+        into the same ``width`` output positions.
+        """
+        if output_order is None:
+            output_order = list(range(self.width))
+        self._adopt(compile_topology(self.width, layers, output_order))
 
     # ------------------------------------------------------------------
     # batch (quiescent) semantics

@@ -75,13 +75,15 @@ from repro.staticcheck.concurrency.contract import (
 )
 from repro.staticcheck.diagnostics import Report, Severity
 
-#: Packages the pass analyzes by default — the thread-readiness surface
-#: of the future shared-memory backend.
+#: Packages the pass analyzes by default — the thread-readiness surface:
+#: everything the shared-memory backend (repro.threads) runs, plus the
+#: backend itself.
 DEFAULT_CONCURRENCY_PACKAGES: Tuple[str, ...] = (
     "repro.core",
     "repro.sim",
     "repro.runtime",
     "repro.chord",
+    "repro.threads",
 )
 
 #: Attribute-name fragments that mark counter/ledger/balancer state —

@@ -77,6 +77,7 @@ ATOMIC_HELPER_TYPES = frozenset(
         "LockedPerWireCounters",
         "ToggleBit",
         "LockedToggleBit",
+        "ThreadSafeToggle",
         "TokenLedger",
         "LockedTokenLedger",
         "GuardedMap",

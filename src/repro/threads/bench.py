@@ -1,0 +1,258 @@
+"""The contended fetch-and-inc benchmark (``repro bench --backend threads``).
+
+Sweeps real OS threads across network widths and pits the threaded
+counting network against :class:`LockedCounterBaseline` — the single
+locked counter the paper's construction exists to beat. Each cell
+drives ``threads x ops_per_thread`` tokens, then checks the two
+invariants that make the numbers meaningful:
+
+* **zero lost tokens** — every ``fetch_and_inc`` call retired on some
+  output, and the handed-out ranks are exactly ``{0 .. total-1}``
+  (no duplicate, no gap: the network really is a counter);
+* **the step property at quiescence** — per-output retirement counts
+  form the exact staircase ``ceil((total - j) / width)``.
+
+A cell that fails either raises :class:`BenchmarkError`: this bench
+never emits a payload for a run that miscounted.
+
+Unlike the simulator bench, wall-clock throughput here is genuinely
+nondeterministic (it *is* the measurement), so these scenarios live in
+their own registry (:data:`THREADS_PROFILES`) and their own trajectory
+id (:data:`THREADS_BENCH_ID`) rather than inside the seed-stable
+``BENCH_5`` families — CI treats the threads sweep as a non-gating
+smoke signal, not a regression gate.
+
+Under the GIL only one thread interprets bytecode at a time, so do not
+expect the network to *beat* the baseline wall-clock here — the sweep
+measures how throughput degrades with contention (the single lock
+serialises and convoys; the network's striped toggles and per-output
+locks spread the pressure), and becomes a true parallel speedup
+measurement on free-threaded builds. ``docs/architecture.md`` has the
+full caveat.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+from repro.bench.result import ScenarioResult
+from repro.core.bitonic import bitonic_network
+from repro.errors import BenchmarkError
+from repro.threads.network import (
+    LockedCounterBaseline,
+    ThreadedCountingNetwork,
+    VerifyReport,
+    values_form_range,
+)
+
+SCHEMA_VERSION = 2
+
+#: The threads backend's own trajectory id — a separate family from the
+#: simulator's ``BENCH_5`` because wall-clock contention numbers are
+#: machine- and schedule-dependent.
+THREADS_BENCH_ID = "BENCH_THREADS_1"
+
+#: Per-profile sweep parameters: thread counts x network widths, each
+#: driving ``ops_per_thread`` tokens per thread, plus one locked-counter
+#: baseline cell per thread count.
+THREADS_PROFILES: Dict[str, Dict[str, Tuple[int, ...]]] = {
+    "smoke": {"threads": (1, 2, 4), "widths": (4, 8), "ops_per_thread": (2000,)},
+    "small": {"threads": (1, 2, 4, 8), "widths": (4, 8, 16), "ops_per_thread": (5000,)},
+    "large": {
+        "threads": (1, 2, 4, 8, 16),
+        "widths": (8, 16, 32),
+        "ops_per_thread": (20000,),
+    },
+}
+
+
+class _FetchAndInc(Protocol):
+    """What the driver needs: the network and the baseline both hand
+    out unique ranks and can report their quiescent state."""
+
+    def fetch_and_inc(self, wire: int) -> int:
+        ...  # pragma: no cover - protocol stub
+
+    def verify(self, total: int) -> VerifyReport:
+        ...  # pragma: no cover - protocol stub
+
+
+@dataclass
+class _DriveOutcome:
+    elapsed: float
+    values: List[int]
+
+
+def _drive(
+    target: _FetchAndInc,
+    threads: int,
+    ops_per_thread: int,
+    entry_wires: Sequence[int],
+) -> _DriveOutcome:
+    """Hammer ``target.fetch_and_inc`` from ``threads`` OS threads.
+
+    All workers block on a barrier so the clock starts with every
+    thread ready; each records its ranks into its own private list
+    (merged after the join — workers share nothing but the target).
+    """
+    per_thread: List[List[int]] = [[] for _ in range(threads)]
+    start_gate = threading.Barrier(threads + 1)
+
+    def work(tid: int) -> None:
+        record = per_thread[tid].append
+        fetch = target.fetch_and_inc
+        wire = entry_wires[tid]
+        start_gate.wait()
+        for _ in range(ops_per_thread):
+            record(fetch(wire))
+
+    workers = [
+        threading.Thread(target=work, args=(tid,), name="bench-worker-%d" % tid)
+        for tid in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    start_gate.wait()
+    begin = perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = perf_counter() - begin
+    values = [rank for ranks in per_thread for rank in ranks]
+    return _DriveOutcome(elapsed=max(elapsed, 1e-9), values=values)
+
+
+def _require_green(
+    name: str, target: _FetchAndInc, outcome: _DriveOutcome, total: int
+) -> None:
+    """Fail the whole bench if a cell miscounted."""
+    report = target.verify(total)
+    if not report.ok:
+        raise BenchmarkError(
+            "%s failed verification: %d lost tokens, step property %s "
+            "(per-output %s)"
+            % (
+                name,
+                report.lost_tokens,
+                "ok" if report.step_ok else "VIOLATED",
+                list(report.per_output),
+            )
+        )
+    if not values_form_range(outcome.values, total):
+        raise BenchmarkError(
+            "%s handed out %d ranks that do not form 0..%d — duplicate or "
+            "skipped values under contention" % (name, len(outcome.values), total - 1)
+        )
+
+
+def run_threads_bench(profile: str = "smoke", seed: int = 0) -> List[ScenarioResult]:
+    """Run the full threads x width sweep for ``profile``.
+
+    ``seed`` only chooses the (fixed-per-thread) entry-wire
+    assignment; wall-clock rates are inherently machine-dependent.
+    Every cell is verified before its result is recorded.
+    """
+    try:
+        params = THREADS_PROFILES[profile]
+    except KeyError:
+        raise BenchmarkError(
+            "unknown threads profile %r (choose from %s)"
+            % (profile, ", ".join(sorted(THREADS_PROFILES)))
+        ) from None
+    thread_counts = params["threads"]
+    widths = params["widths"]
+    ops_per_thread = params["ops_per_thread"][0]
+    rng = random.Random(seed)
+
+    results: List[ScenarioResult] = []
+    baseline_rates: Dict[int, float] = {}
+    for threads in thread_counts:
+        baseline = LockedCounterBaseline()
+        total = threads * ops_per_thread
+        outcome = _drive(baseline, threads, ops_per_thread, [0] * threads)
+        name = "locked_counter_t%d" % threads
+        _require_green(name, baseline, outcome, total)
+        rate = total / outcome.elapsed
+        baseline_rates[threads] = rate
+        results.append(
+            ScenarioResult(
+                name=name,
+                ops_per_sec=rate,
+                events=total,
+                metrics={
+                    "threads": threads,
+                    "width": 1,
+                    "lost_tokens": 0,
+                    "step_ok": 1,
+                    "unique_values": 1,
+                },
+            )
+        )
+
+    for width in widths:
+        topology = bitonic_network(width).topology
+        # One seeded permutation per width: threads enter on distinct
+        # wires first, wrapping round-robin past ``width`` threads.
+        permutation = rng.sample(range(width), width)
+        for threads in thread_counts:
+            network = ThreadedCountingNetwork(topology)
+            total = threads * ops_per_thread
+            entry_wires = [permutation[tid % width] for tid in range(threads)]
+            outcome = _drive(network, threads, ops_per_thread, entry_wires)
+            name = "network_w%d_t%d" % (width, threads)
+            _require_green(name, network, outcome, total)
+            rate = total / outcome.elapsed
+            results.append(
+                ScenarioResult(
+                    name=name,
+                    ops_per_sec=rate,
+                    events=total,
+                    metrics={
+                        "threads": threads,
+                        "width": width,
+                        "depth": topology.depth,
+                        "lost_tokens": 0,
+                        "step_ok": 1,
+                        "unique_values": 1,
+                        "speedup_vs_locked_counter": rate / baseline_rates[threads],
+                    },
+                )
+            )
+    return results
+
+
+def to_threads_json_payload(
+    results: List[ScenarioResult], profile: str, seed: int
+) -> Dict[str, object]:
+    """Schema-2-shaped payload with the threads trajectory id. The
+    extra ``backend`` key distinguishes it from simulator documents;
+    ``verified`` records that every cell passed its quiescence check
+    (a failed cell never reaches emission — the run raises)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench_id": THREADS_BENCH_ID,
+        "backend": "threads",
+        "profile": profile,
+        "seed": seed,
+        "verified": True,
+        "scenarios": {result.name: result.to_json() for result in results},
+    }
+
+
+def format_threads_results(results: List[ScenarioResult]) -> str:
+    """Human-readable sweep table (same layout as the simulator bench)."""
+    from repro.bench.harness import format_results
+
+    return format_results(results)
+
+
+__all__ = [
+    "THREADS_BENCH_ID",
+    "THREADS_PROFILES",
+    "format_threads_results",
+    "run_threads_bench",
+    "to_threads_json_payload",
+]

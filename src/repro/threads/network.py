@@ -1,0 +1,172 @@
+"""An in-process counting network driven by OS threads.
+
+:class:`ThreadedCountingNetwork` consumes the flat
+``table[layer][wire] -> (balancer, next_top, next_bottom)`` layout
+compiled by :func:`repro.core.network.compile_topology` — the cybozu
+``CountingNetwork4/8`` shape — with one :class:`ThreadSafeToggle` per
+balancer (a GIL-atomic fetch-and-add) and one independently locked
+retirement counter per output wire.
+
+The retirement counters follow the exemplar's numbering: output ``j``'s
+counter starts at ``j`` and every retirement fetch-adds ``width``, so
+output ``j`` hands out ``j, j + width, j + 2*width, ...`` and the union
+across outputs is exactly ``{0, 1, ..., total - 1}`` — *iff* the
+network balances. :meth:`ThreadedCountingNetwork.verify` checks that
+at quiescence (zero lost tokens plus the step property).
+
+Striping, as far as Python allows: C code aligns each output counter to
+its own cache line; here every output gets its *own object and its own
+lock* (a :class:`LockedAtomicCounter` each, never one lock over the
+whole array), so two threads retiring on different outputs contend on
+nothing — the same pressure-spreading the paper's width buys, applied
+to the lock table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.atomics import LockedAtomicCounter, ThreadSafeToggle
+from repro.core.network import CompiledTopology, RoutingTable
+from repro.errors import StructureError
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Quiescent-state verdict of a threaded run.
+
+    ``lost_tokens`` is expected minus retired (0 when every thread's
+    token came out somewhere); ``step_ok`` is the step property — with
+    ``total`` tokens through a ``width``-wide network, output ``j``
+    must have retired exactly ``ceil((total - j) / width)``.
+    """
+
+    total_expected: int
+    total_retired: int
+    per_output: Tuple[int, ...]
+    step_ok: bool
+
+    @property
+    def lost_tokens(self) -> int:
+        return self.total_expected - self.total_retired
+
+    @property
+    def ok(self) -> bool:
+        return self.lost_tokens == 0 and self.step_ok
+
+
+def _step_counts(total: int, width: int) -> List[int]:
+    """Per-output retirement counts the step property demands."""
+    return [(total + width - 1 - j) // width for j in range(width)]
+
+
+def values_form_range(values: Iterable[int], total: int) -> bool:
+    """Whether the handed-out values are exactly ``{0 .. total-1}`` —
+    every rank issued once, none skipped, none duplicated."""
+    seen = list(values)
+    return len(seen) == total and set(seen) == set(range(total))
+
+
+class ThreadedCountingNetwork:
+    """A counting network whose tokens are the calling threads.
+
+    ``fetch_and_inc(wire)`` is the whole client API: enter on ``wire``,
+    traverse one atomic toggle per layer, retire on the reached
+    output's striped counter, return a globally unique rank. Safe to
+    call from any number of threads concurrently with no external
+    locking.
+    """
+
+    # repro: thread-safe: routing tables and the position map are frozen
+    # after __init__ (reads only); every mutable cell is an atomics
+    # helper (ThreadSafeToggle per balancer, LockedAtomicCounter per
+    # output) reached through its named atomic operations.
+
+    def __init__(self, topology: CompiledTopology) -> None:
+        self.width = topology.width
+        self.topology = topology
+        # Flat layout, global balancer indices — read-only after init.
+        self._tables: List[RoutingTable] = topology.flat_tables()  # repro: owned-by: single-writer
+        self._position: Dict[int, int] = topology.position()  # repro: owned-by: single-writer
+        # One atomic toggle per balancer, one striped (independently
+        # locked) retirement counter per output, initialised to the
+        # output index so ranks interleave across outputs.
+        self._balancers: List[ThreadSafeToggle] = [  # repro: owned-by: shared
+            ThreadSafeToggle() for _ in range(topology.num_balancers)
+        ]
+        self._outputs: List[LockedAtomicCounter] = [  # repro: owned-by: shared
+            LockedAtomicCounter(j) for j in range(topology.width)
+        ]
+
+    def fetch_and_inc(self, wire: int) -> int:
+        """Drive this thread's token from input ``wire`` to retirement;
+        return the unique rank the reached output hands out."""
+        if not 0 <= wire < self.width:
+            raise StructureError("input wire %d out of range" % wire)
+        balancers = self._balancers
+        current = wire
+        for table in self._tables:
+            entry = table[current]
+            if entry is None:
+                continue
+            index, top, bottom = entry
+            current = top if balancers[index].flip() == 0 else bottom
+        return self._outputs[self._position[current]].fetch_increment(self.width)
+
+    def counts(self) -> List[int]:
+        """Tokens retired per output (counter value decoded back from
+        the ``j + n * width`` numbering). Exact only at quiescence."""
+        width = self.width
+        return [
+            (counter.get() - j) // width
+            for j, counter in enumerate(self._outputs)
+        ]
+
+    def verify(self, total: int) -> VerifyReport:
+        """Check conservation and the step property at quiescence —
+        call only after every driving thread has been joined."""
+        per_output = self.counts()
+        return VerifyReport(
+            total_expected=total,
+            total_retired=sum(per_output),
+            per_output=tuple(per_output),
+            step_ok=per_output == _step_counts(total, self.width),
+        )
+
+
+class LockedCounterBaseline:
+    """The centralized counter the network exists to beat.
+
+    Same ``fetch_and_inc`` surface as the network (the ``wire``
+    argument is accepted and ignored) so the bench drives both through
+    one code path; every thread funnels through the one lock.
+    """
+
+    width = 1
+
+    def __init__(self) -> None:
+        self._ranks = LockedAtomicCounter(0)
+
+    def fetch_and_inc(self, wire: int) -> int:
+        return self._ranks.fetch_increment()
+
+    def counts(self) -> List[int]:
+        return [self._ranks.get()]
+
+    def verify(self, total: int) -> VerifyReport:
+        retired = self._ranks.get()
+        return VerifyReport(
+            total_expected=total,
+            total_retired=retired,
+            per_output=(retired,),
+            step_ok=retired == total,
+        )
+
+
+__all__ = [
+    "LockedCounterBaseline",
+    "ThreadedCountingNetwork",
+    "VerifyReport",
+    "values_form_range",
+]

@@ -65,6 +65,49 @@ class TestBenchCli:
         assert "batch_counts" in out
         assert "token_routing" not in out
 
+    def test_bench_threads_backend_json(self, capsys, tmp_path):
+        """`repro bench --backend threads` runs the contended sweep,
+        verify-green, and emits the threads payload."""
+        output = tmp_path / "BENCH_THREADS.json"
+        code = main(
+            [
+                "bench",
+                "--backend",
+                "threads",
+                "--profile",
+                "smoke",
+                "--json",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench_id"] == "BENCH_THREADS_1"
+        assert payload["backend"] == "threads"
+        assert payload["verified"] is True
+        # The acceptance cell: network vs locked counter at >= 4 threads.
+        four_way = payload["scenarios"]["network_w4_t4"]["metrics"]
+        assert four_way["lost_tokens"] == 0
+        assert four_way["step_ok"] == 1
+        assert four_way["speedup_vs_locked_counter"] > 0
+        assert "locked_counter_t4" in payload["scenarios"]
+        assert json.loads(output.read_text()) == payload
+
+    def test_bench_threads_backend_rejects_sim_only_flags(self, capsys, tmp_path):
+        for flags in (
+            ["--trace", str(tmp_path / "t.json")],
+            ["--metrics-out", str(tmp_path / "m.jsonl")],
+            ["--scenario", "batch_counts"],
+            ["--baseline", str(tmp_path / "b.json")],
+        ):
+            code = main(["bench", "--backend", "threads"] + flags)
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "not supported with --backend threads" in err
+
     def test_bench_baseline_regression_fails(self, capsys, tmp_path):
         import json
 

@@ -1,0 +1,94 @@
+"""The contended fetch-and-inc sweep: shape, verification, payload."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.threads.bench import (
+    THREADS_BENCH_ID,
+    THREADS_PROFILES,
+    format_threads_results,
+    run_threads_bench,
+    to_threads_json_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    # One real sweep for the whole module — every cell in it has
+    # already passed its verify() or run_threads_bench would raise.
+    return run_threads_bench("smoke", seed=0)
+
+
+class TestSweepShape:
+    def test_every_cell_of_the_sweep_is_present(self, smoke_results):
+        names = {result.name for result in smoke_results}
+        expected = {
+            "locked_counter_t%d" % t for t in THREADS_PROFILES["smoke"]["threads"]
+        } | {
+            "network_w%d_t%d" % (w, t)
+            for w in THREADS_PROFILES["smoke"]["widths"]
+            for t in THREADS_PROFILES["smoke"]["threads"]
+        }
+        assert names == expected
+
+    def test_ci_smoke_profile_covers_the_2x_and_4x_sweep(self):
+        # The CI job's contract: 2- and 4-thread cells at small widths.
+        assert {2, 4} <= set(THREADS_PROFILES["smoke"]["threads"])
+        assert min(THREADS_PROFILES["smoke"]["widths"]) <= 8
+
+    def test_network_cells_report_speedup_vs_baseline_at_4_threads(
+        self, smoke_results
+    ):
+        by_name = {result.name: result for result in smoke_results}
+        four_way = [
+            result
+            for name, result in by_name.items()
+            if name.startswith("network_") and result.metrics["threads"] >= 4
+        ]
+        assert four_way, "sweep has no >=4-thread network cell"
+        for result in four_way:
+            assert result.metrics["speedup_vs_locked_counter"] > 0
+
+    def test_every_cell_is_verify_green(self, smoke_results):
+        for result in smoke_results:
+            assert result.metrics["lost_tokens"] == 0, result.name
+            assert result.metrics["step_ok"] == 1, result.name
+            assert result.metrics["unique_values"] == 1, result.name
+            assert result.ops_per_sec > 0
+            assert result.events == result.metrics["threads"] * (
+                THREADS_PROFILES["smoke"]["ops_per_thread"][0]
+            )
+
+    def test_unknown_profile_is_an_error(self):
+        with pytest.raises(BenchmarkError, match="unknown threads profile"):
+            run_threads_bench("huge")
+
+
+class TestPayload:
+    def test_payload_shape(self, smoke_results):
+        payload = to_threads_json_payload(smoke_results, "smoke", 0)
+        assert payload["schema"] == 2
+        assert payload["bench_id"] == THREADS_BENCH_ID
+        assert payload["backend"] == "threads"
+        assert payload["profile"] == "smoke"
+        assert payload["seed"] == 0
+        assert payload["verified"] is True
+        scenarios = payload["scenarios"]
+        assert set(scenarios) == {result.name for result in smoke_results}
+        for cell in scenarios.values():
+            assert set(cell) == {"ops_per_sec", "events", "metrics"}
+
+    def test_format_lists_every_cell(self, smoke_results):
+        table = format_threads_results(smoke_results)
+        for result in smoke_results:
+            assert result.name in table
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", sorted(THREADS_PROFILES))
+    def test_profiles_are_complete(self, profile):
+        params = THREADS_PROFILES[profile]
+        assert set(params) == {"threads", "widths", "ops_per_thread"}
+        assert all(t >= 1 for t in params["threads"])
+        # Bitonic construction needs power-of-two widths.
+        assert all(w & (w - 1) == 0 for w in params["widths"])
