@@ -21,6 +21,13 @@ inject-to-retire latency percentiles from the ``repro.obs`` histogram —
 to the ``metrics`` of the end-to-end scenarios (``inject_to_retire``,
 ``large_churn``).
 
+Schema 3 (ISSUE 9) adds ``events_per_sec`` and ``peak_rss_kb`` to the
+end-to-end scenarios' metrics (both wall-clock/machine-local, excluded
+from fingerprints) and introduces the ``huge_churn`` scenario plus the
+``huge``/``huge_smoke`` profiles: thousands of nodes, burst injection,
+discrete latency classes, with same-edge coalescing and token recycling
+enabled — the configuration the calendar-queue event core is for.
+
 ``compare_to_baseline`` gates each scenario's ``ops_per_sec`` against a
 committed baseline document: a scenario regressing by more than the
 threshold fails the comparison. New scenarios are reported but never
@@ -39,17 +46,17 @@ from repro.bench.scenarios import SCENARIOS
 from repro.errors import BenchmarkError
 from repro.obs import recorder as _obs
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Baseline schemas the regression gate still understands. Schema 1
-#: (``BENCH_4``) differs from 2 only by the added latency-percentile
-#: metrics, which the gate does not read, so older baselines remain
-#: comparable — CI uses ``BENCH_4.json`` for the instrumentation-off
-#: overhead gate.
-SUPPORTED_BASELINE_SCHEMAS = (1, 2)
+#: Baseline schemas the regression gate still understands. Schemas 1
+#: (``BENCH_4``) and 2 (``BENCH_5``) differ from 3 only by added
+#: metrics and scenarios, which the gate does not read (it compares
+#: ``ops_per_sec`` per scenario), so older baselines remain comparable
+#: — CI uses ``BENCH_4.json`` for the instrumentation-off overhead gate.
+SUPPORTED_BASELINE_SCHEMAS = (1, 2, 3)
 
-#: This PR series' benchmark trajectory file (ISSUE 5).
-BENCH_ID = "BENCH_5"
+#: This PR series' benchmark trajectory file (ISSUE 9).
+BENCH_ID = "BENCH_6"
 
 #: Per-profile scenario parameters. ``token_routing`` keeps width 64 in
 #: every profile so the table-vs-scan speedup is always measured at the
@@ -68,6 +75,19 @@ PROFILES: Dict[str, Dict[str, Dict]] = {
             "crash_rate": 0.05,
         },
         "converge": {"width": 32, "nodes": 12},
+        # Tiny wheel-heavy entry so the schedule-perturbation sanitizer
+        # (which runs the smoke profile) covers the coalescing/recycling
+        # fast paths for RSC610/611.
+        "huge_churn": {
+            "width": 16,
+            "nodes": 24,
+            "tokens": 400,
+            "burst": 4,
+            "duration": 100.0,
+            "join_rate": 0.05,
+            "crash_rate": 0.05,
+            "min_nodes": 12,
+        },
     },
     "small": {
         "token_routing": {"width": 64, "tokens": 20000, "repeats": 3},
@@ -82,6 +102,16 @@ PROFILES: Dict[str, Dict[str, Dict]] = {
             "crash_rate": 0.05,
         },
         "converge": {"width": 64, "nodes": 32},
+        "huge_churn": {
+            "width": 32,
+            "nodes": 100,
+            "tokens": 8000,
+            "burst": 8,
+            "duration": 1000.0,
+            "join_rate": 0.05,
+            "crash_rate": 0.05,
+            "min_nodes": 50,
+        },
     },
     "large": {
         "token_routing": {"width": 64, "tokens": 100000, "repeats": 5},
@@ -96,6 +126,47 @@ PROFILES: Dict[str, Dict[str, Dict]] = {
             "crash_rate": 0.05,
         },
         "converge": {"width": 128, "nodes": 80},
+        "huge_churn": {
+            "width": 64,
+            "nodes": 500,
+            "tokens": 100000,
+            "burst": 50,
+            "duration": 2000.0,
+            "join_rate": 0.01,
+            "crash_rate": 0.01,
+            "min_nodes": 250,
+        },
+    },
+    # The ISSUE 9 scale target: >= 2k nodes, >= 1M tokens, Poisson
+    # churn. One scenario only — this is the configuration the calendar
+    # queue, pooling and coalescing exist for, and the committed
+    # BENCH_6.json records its metrics.
+    "huge": {
+        "huge_churn": {
+            "width": 64,
+            "nodes": 2048,
+            "tokens": 1_000_000,
+            "burst": 100,
+            "duration": 10_000.0,
+            "join_rate": 0.002,
+            "crash_rate": 0.002,
+            "min_nodes": 1024,
+        },
+    },
+    # CI-sized slice of the same shape (the ``huge-smoke`` job): small
+    # enough for a wall-clock cap, big enough that the wheel, the pools
+    # and coalescing all carry real traffic.
+    "huge_smoke": {
+        "huge_churn": {
+            "width": 64,
+            "nodes": 200,
+            "tokens": 100_000,
+            "burst": 50,
+            "duration": 2000.0,
+            "join_rate": 0.005,
+            "crash_rate": 0.005,
+            "min_nodes": 100,
+        },
     },
 }
 

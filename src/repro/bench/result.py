@@ -5,6 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+#: Metric keys measured in wall-clock time (or machine-dependent, like
+#: peak RSS) — every other metric must be a pure function of the seed.
+#: The schedule-perturbation sanitizer and the golden-fingerprint tests
+#: exclude exactly these keys when fingerprinting a run, so a scenario
+#: adding a wall-clock metric must list it here or its fingerprint
+#: becomes machine-dependent.
+WALL_CLOCK_METRIC_KEYS = frozenset(
+    {
+        "scan_ops_per_sec",
+        "speedup_vs_scan",
+        "batches_per_sec",
+        "events_per_sec",
+        "peak_rss_kb",
+    }
+)
+
 
 @dataclass
 class ScenarioResult:

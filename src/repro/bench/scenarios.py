@@ -20,6 +20,26 @@ from repro.errors import BenchmarkError
 from repro.obs.metrics import Histogram
 from repro.runtime.system import AdaptiveCountingSystem
 from repro.sim.failures import churn_trace
+from repro.sim.latency import DiscreteLatency
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size, in KiB.
+
+    Uses ``resource`` where available (POSIX; Linux reports KiB). On
+    platforms without it, falls back to the ``tracemalloc`` peak if
+    tracing happens to be on, else 0 — the metric is informational and
+    excluded from fingerprints either way (see WALL_CLOCK_METRIC_KEYS).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[1] // 1024
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _latency_percentiles(latencies: List) -> Dict[str, float]:
@@ -172,6 +192,7 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
     system.verify()
 
     stats = system.token_stats
+    events = system.sim.events_run.get() - events_before
     metrics = {
         "width": width,
         "nodes": system.num_nodes,
@@ -181,12 +202,14 @@ def bench_inject_to_retire(params: Dict, seed: int) -> ScenarioResult:
         "mean_sim_latency": stats.mean_latency,
         "crashes": system.stats.crashes,
         "messages_sent": system.bus.messages_sent.get(),
+        "events_per_sec": events / elapsed,
+        "peak_rss_kb": _peak_rss_kb(),
     }
     metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="inject_to_retire",
         ops_per_sec=stats.retired.get() / elapsed,
-        events=system.sim.events_run.get() - events_before,
+        events=events,
         metrics=metrics,
     )
 
@@ -253,6 +276,7 @@ def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
     system.verify()
 
     stats = system.token_stats
+    events = system.sim.events_run.get() - events_before
     metrics = {
         "width": width,
         "nodes": system.num_nodes,
@@ -264,12 +288,135 @@ def bench_large_churn(params: Dict, seed: int) -> ScenarioResult:
         "mean_sim_latency": stats.mean_latency,
         "messages_sent": system.bus.messages_sent.get(),
         "sim_time": system.sim.now,
+        "events_per_sec": events / elapsed,
+        "peak_rss_kb": _peak_rss_kb(),
     }
     metrics.update(_latency_percentiles(stats.latencies))
     return ScenarioResult(
         name="large_churn",
         ops_per_sec=stats.retired.get() / elapsed,
-        events=system.sim.events_run.get() - events_before,
+        events=events,
+        metrics=metrics,
+    )
+
+
+# ----------------------------------------------------------------------
+# scenario: wheel-heavy scale test (the ISSUE 9 calendar-queue payoff)
+# ----------------------------------------------------------------------
+def bench_huge_churn(params: Dict, seed: int) -> ScenarioResult:
+    """The scale configuration the calendar queue and the object pools
+    were built for: thousands of nodes, a token stream injected in
+    same-instant bursts, and :class:`DiscreteLatency` (a few distinct
+    path classes) so messages pile into shared timestamp buckets instead
+    of degenerating to one bucket per event. Same-edge coalescing and
+    token recycling are ON — this scenario deliberately exercises the
+    opt-in fast paths the fingerprinted scenarios leave off — and a
+    seeded Poisson membership trace churns the ring underneath.
+
+    Zero tokens may drop: recovery is enabled, so a drop means the
+    token plane lost work, and the scenario aborts rather than report a
+    rate for a broken run. ``verify()`` must also pass.
+
+    ``burst`` tokens are injected at each instant; ``tokens`` must be a
+    multiple of it. The rate is retired tokens per wall-clock second;
+    ``events_per_sec`` and ``peak_rss_kb`` ride along as wall-clock
+    metrics (excluded from fingerprints), everything else is a pure
+    function of the seed.
+    """
+    width = params["width"]
+    nodes = params["nodes"]
+    tokens = params["tokens"]
+    duration = params["duration"]
+    join_rate = params["join_rate"]
+    crash_rate = params["crash_rate"]
+    burst = params.get("burst", 1)
+    min_nodes = params.get("min_nodes", max(4, nodes // 2))
+    latency_values = params.get("latency_values", (0.5, 1.0, 2.0))
+    if burst < 1 or tokens % burst:
+        raise BenchmarkError(
+            "tokens (%d) must be a positive multiple of burst (%d)"
+            % (tokens, burst)
+        )
+
+    system = AdaptiveCountingSystem(
+        width=width,
+        seed=seed,
+        initial_nodes=nodes,
+        latency=DiscreteLatency(list(latency_values), random.Random(seed + 2)),
+        coalesce=True,
+        recycle_tokens=True,
+    )
+    system.converge()
+    events_before = system.sim.events_run.get()
+
+    trace = churn_trace(
+        random.Random(seed + 1),
+        duration=duration,
+        join_rate=join_rate,
+        leave_rate=0.0,
+        crash_rate=crash_rate,
+    )
+    instants = tokens // burst
+    step = duration / instants
+    joins = crashes = 0
+
+    start = time.perf_counter()
+    trace_index = 0
+    inject = system.inject_token
+    advance = system.advance
+    for index in range(instants):
+        target_time = (index + 1) * step
+        while trace_index < len(trace) and trace[trace_index].time <= target_time:
+            event = trace[trace_index]
+            trace_index += 1
+            if event.action == "join":
+                system.add_node()
+                joins += 1
+            elif system.num_nodes > min_nodes:
+                system.crash_node()
+                crashes += 1
+        advance(step)
+        for _ in range(burst):
+            inject()
+    system.run_until_quiescent()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    system.verify()
+
+    stats = system.token_stats
+    dropped = stats.dropped.get()
+    if dropped:
+        raise BenchmarkError(
+            "huge_churn dropped %d tokens with recovery enabled — the "
+            "profile requires a zero-drop run" % dropped
+        )
+    events = system.sim.events_run.get() - events_before
+    pools = system.publish_pool_stats()
+    metrics = {
+        "width": width,
+        "nodes": system.num_nodes,
+        "joins": joins,
+        "crashes": crashes,
+        "burst": burst,
+        "retired": stats.retired.get(),
+        "dropped": dropped,
+        "mean_hops": stats.mean_hops,
+        "mean_sim_latency": stats.mean_latency,
+        "messages_sent": system.bus.messages_sent.get(),
+        "sim_time": system.sim.now,
+        "envelopes_created": pools["envelopes"]["created"],
+        "envelopes_reused": pools["envelopes"]["reused"],
+        "tokens_created": pools["tokens"]["created"],
+        "tokens_reused": pools["tokens"]["reused"],
+        "handles_created": pools["handles"]["created"],
+        "handles_reused": pools["handles"]["reused"],
+        "events_per_sec": events / elapsed,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    metrics.update(_latency_percentiles(stats.latencies))
+    return ScenarioResult(
+        name="huge_churn",
+        ops_per_sec=stats.retired.get() / elapsed,
+        events=events,
         metrics=metrics,
     )
 
@@ -314,5 +461,6 @@ SCENARIOS: Dict[str, Callable[[Dict, int], ScenarioResult]] = {
     "batch_counts": bench_batch_counts,
     "inject_to_retire": bench_inject_to_retire,
     "large_churn": bench_large_churn,
+    "huge_churn": bench_huge_churn,
     "converge": bench_converge,
 }

@@ -41,31 +41,40 @@ def lookup(ring: ChordRing, start_id: int, key_point: int) -> Tuple[ChordNode, i
     """
     if len(ring) == 0:
         raise RingError("lookup on an empty ring")
-    space = ring.space
     current = ring.node(start_id)
     hops = 0
+    # With a single node, that node owns everything.
+    if len(ring) == 1:
+        return current, hops
+    size = ring.space.size
+    scan_of = ring.scan_fingers
+    succ_of = ring.succ_k
     while True:
-        succ = ring.succ_k(current.node_id, 1) if len(ring) > 1 else current
-        # The key is owned by current's successor if it lies in
-        # (current, succ]; with a single node, that node owns everything.
-        if len(ring) == 1:
-            return current, hops
+        current_id = current.node_id
+        # The successor comes from a plain bisect, not the finger
+        # table: terminal hops must not pay for building a full table.
+        # The interval checks are inlined — this loop dominates
+        # injection-time hop accounting.
+        succ = succ_of(current_id, 1)
+        succ_id = succ.node_id
+        key_offset = (key_point - current_id) % size
+        # The key is owned by current's successor if it lies in (current, succ].
         if (
-            _in_open_interval(space.size, current.node_id, succ.node_id, key_point)
-            or key_point == succ.node_id
-        ):
-            if succ.node_id != current.node_id:
+            key_offset < (succ_id - current_id) % size and key_point != current_id
+        ) or key_point == succ_id:
+            if succ_id != current_id:
                 hops += 1
             return succ, hops
-        if key_point == current.node_id:
+        if key_point == current_id:
             return current, hops
         # Forward to the closest preceding finger.
         next_node = succ
-        for finger in reversed(finger_table(ring, current.node_id)):
-            if _in_open_interval(space.size, current.node_id, key_point, finger.node_id):
+        for finger in scan_of(current_id):
+            finger_id = finger.node_id
+            if (finger_id - current_id) % size < key_offset and finger_id != current_id:
                 next_node = finger
                 break
-        if next_node.node_id == current.node_id:
+        if next_node.node_id == current_id:
             return current, hops
         current = next_node
         hops += 1

@@ -51,6 +51,7 @@ class ChordRing:
         #: finger-table cache below, external memos) key off it.
         self._version = 0
         self._finger_cache: Dict[int, List[ChordNode]] = {}
+        self._scan_cache: Dict[int, List[ChordNode]] = {}
 
     @property
     def version(self) -> int:
@@ -60,6 +61,7 @@ class ChordRing:
     def _membership_changed(self) -> None:
         self._version += 1
         self._finger_cache = {}
+        self._scan_cache = {}
 
     # ------------------------------------------------------------------
     # membership
@@ -149,6 +151,29 @@ class ChordRing:
                     index = 0
                 cached.append(nodes[ids[index]])
             self._finger_cache[node_id] = cached
+        return cached
+
+    def scan_fingers(self, node_id: int) -> List[ChordNode]:
+        """The *distinct* fingers of a node, furthest offset first.
+
+        Greedy lookup scans fingers from the largest power-of-two offset
+        down for the closest preceding node; consecutive offsets often
+        land on the same successor, so the full ``space.bits``-entry
+        table collapses to ~log N candidates. Memoised until the next
+        membership change, like :meth:`finger_table` (from which it is
+        derived, preserving scan order exactly — duplicates in the full
+        table form consecutive runs, so adjacent dedup is lossless).
+        """
+        cached = self._scan_cache.get(node_id)
+        if cached is None:
+            cached = []
+            last = None
+            for finger in reversed(self.finger_table(node_id)):
+                finger_id = finger.node_id
+                if finger_id != last:
+                    cached.append(finger)
+                    last = finger_id
+            self._scan_cache[node_id] = cached
         return cached
 
     def succ_k(self, node_id: int, k: int) -> ChordNode:

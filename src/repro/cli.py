@@ -343,9 +343,13 @@ def _bench_threads(args) -> int:
     """``repro bench --backend threads``: the contended fetch-and-inc
     sweep. Every cell is verified (zero lost tokens, step property at
     quiescence) before its numbers are reported; a violated invariant
-    is exit 2, not a payload."""
+    is exit 2, not a payload. ``--baseline`` gates against a committed
+    ``BENCH_THREADS_*.json`` the same way the simulator backend does —
+    wall-clock numbers are machine-dependent, so the CI gate pairs it
+    with a generous ``--max-regression``."""
     import json
 
+    from repro.bench import compare_to_baseline
     from repro.errors import BenchmarkError
     from repro.threads.bench import (
         format_threads_results,
@@ -357,7 +361,6 @@ def _bench_threads(args) -> int:
         (flag, value)
         for flag, value in (
             ("--scenario", args.scenario),
-            ("--baseline", args.baseline),
             ("--trace", args.trace),
             ("--metrics-out", args.metrics_out),
         )
@@ -366,8 +369,8 @@ def _bench_threads(args) -> int:
     if unsupported:
         print(
             "repro bench: error: %s not supported with --backend threads "
-            "(the sweep is wall-clock and unrecorded; no committed baseline "
-            "gates it)" % ", ".join(flag for flag, _ in unsupported),
+            "(the sweep is wall-clock and unrecorded)"
+            % ", ".join(flag for flag, _ in unsupported),
             file=sys.stderr,
         )
         return 2
@@ -385,7 +388,32 @@ def _bench_threads(args) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(format_threads_results(results))
-    return 0
+    exit_code = 0
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+            ok, lines, missing = compare_to_baseline(
+                results, baseline, max_regression=args.max_regression
+            )
+        except (OSError, ValueError, BenchmarkError) as exc:
+            print("repro bench: error: %s" % exc, file=sys.stderr)
+            return 2
+        report = "baseline %s:\n%s" % (args.baseline, "\n".join(lines))
+        print(report, file=sys.stderr if args.json else sys.stdout)
+        # The sweep always runs every cell of its profile, so a baseline
+        # scenario missing from this run means the profiles diverged —
+        # fail loudly rather than gate on a partial grid.
+        if missing:
+            print(
+                "repro bench: error: baseline scenario(s) missing from "
+                "this run: %s" % ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 2
+        if not ok:
+            exit_code = 1
+    return exit_code
 
 
 def cmd_trace(args) -> int:
@@ -597,7 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--sanitize-profile",
-        choices=["smoke", "small", "large"],
+        choices=["smoke", "small", "large", "huge_smoke"],
         default="smoke",
         help="bench profile the sanitizer re-executes (default smoke)",
     )
@@ -630,9 +658,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="seeded performance scenarios (repro.bench)")
     bench.add_argument(
         "--profile",
-        choices=["smoke", "small", "large"],
         default="small",
-        help="workload size (smoke is the CI gate, small the committed baseline)",
+        # No argparse choices= here: each backend owns its own profile
+        # registry (repro.bench.PROFILES vs repro.threads THREADS_PROFILES),
+        # so validation happens up front in the runner, which exits 2
+        # listing the valid set for the selected backend.
+        help="workload size (smoke is the CI gate, small the committed "
+        "baseline, huge/huge_smoke the scale profiles; valid names depend "
+        "on --backend)",
     )
     bench.add_argument(
         "--backend",

@@ -116,9 +116,12 @@ class ComponentState:
 
     def route_token(self, in_port: int) -> int:
         """Consume one token arriving on ``in_port``; return its exit wire."""
-        self._check_port(in_port)
-        wire = self._traversed.fetch_increment() % self.width
-        self.arrivals[in_port] = self.arrivals.get(in_port, 0) + 1
+        width = self.spec.width
+        if not 0 <= in_port < width:
+            self._check_port(in_port)
+        wire = self._traversed.fetch_increment() % width
+        arrivals = self.arrivals
+        arrivals[in_port] = arrivals.get(in_port, 0) + 1
         return wire
 
     def route_batch(self, port_counts: Mapping[int, int]) -> List[int]:

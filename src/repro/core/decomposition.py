@@ -119,7 +119,7 @@ class ComponentSpec:
                 "child index %d out of range for %s (%d children)"
                 % (index, self, len(kinds))
             )
-        return ComponentSpec(kinds[index], self.width // 2, self.path + (index,))
+        return _child_spec(self.kind, self.width, self.path, index)
 
     def children(self) -> List["ComponentSpec"]:
         """All children, in child-index order."""
@@ -131,6 +131,16 @@ class ComponentSpec:
 
     def __str__(self):
         return self.label()
+
+
+@functools.lru_cache(maxsize=None)
+def _child_spec(
+    kind: ComponentKind, width: int, path: Tuple[int, ...], index: int
+) -> ComponentSpec:
+    """Interned child specs: the token hot path re-derives the same
+    parent->child steps constantly, and the tree is small enough to keep
+    every spec alive."""
+    return ComponentSpec(_CHILD_KINDS[kind][index], width // 2, path + (index,))
 
 
 @functools.lru_cache(maxsize=None)

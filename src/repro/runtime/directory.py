@@ -11,7 +11,7 @@ index in ``T_w``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.chord.hashing import name_to_point
 from repro.chord.ring import ChordRing
@@ -34,6 +34,12 @@ class ComponentDirectory:
         #: so entries never invalidate; the memo spares the token hot
         #: path a tree walk + SHA-1 per lookup.
         self._points: Dict[Path, int] = {}
+        #: Monotonic mutation stamp: bumped on every register/unregister.
+        #: Caches keyed by it (the client-side input-lookup cache, the
+        #: ``live_paths`` memo below) stay valid exactly as long as the
+        #: deployed cut is unchanged.
+        self._generation = 0  # repro: owned-by: single-writer
+        self._live_memo: Optional[FrozenSet[Path]] = None
 
     # ------------------------------------------------------------------
     # naming and placement
@@ -59,11 +65,24 @@ class ComponentDirectory:
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
+    def _bump_generation(self) -> None:
+        """The one mutation site for the stamp and its dependent memo
+        (the single-writer ownership contract on ``_generation``)."""
+        self._generation += 1
+        self._live_memo = None
+
     def register(self, path: Path, node_id: int) -> None:
         self._owner[tuple(path)] = node_id
+        self._bump_generation()
 
     def unregister(self, path: Path) -> None:
         self._owner.pop(tuple(path), None)
+        self._bump_generation()
+
+    @property
+    def generation(self) -> int:
+        """Current mutation stamp (changes iff the deployed cut does)."""
+        return self._generation
 
     def owner(self, path: Path) -> int:
         try:
@@ -74,8 +93,19 @@ class ComponentDirectory:
     def is_live(self, path: Path) -> bool:
         return tuple(path) in self._owner
 
+    def owner_reader(self) -> "Callable[[Path], Optional[int]]":
+        """A bound, C-level ``dict.get`` over the owner map for hot
+        paths (the per-hop liveness + owner probe). Keys must already be
+        tuples; missing paths read as None. The underlying dict is
+        mutated in place and never replaced, so the reader stays valid
+        for the directory's lifetime."""
+        return self._owner.get
+
     def live_paths(self) -> FrozenSet[Path]:
-        return frozenset(self._owner)
+        memo = self._live_memo
+        if memo is None:
+            memo = self._live_memo = frozenset(self._owner)
+        return memo
 
     def paths_on(self, node_id: int) -> List[Path]:
         return sorted(p for p, owner in self._owner.items() if owner == node_id)

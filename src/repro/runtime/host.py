@@ -27,6 +27,9 @@ from repro.sim.node import SimulatedProcess
 
 Path = Tuple[int, ...]
 
+#: Filled on first message; see ``handle_message``.
+_BatchTokenMsg = None
+
 
 class NodeHost(SimulatedProcess):
     """The runtime process of one physical node."""
@@ -91,20 +94,50 @@ class NodeHost(SimulatedProcess):
     # token plane
     # ------------------------------------------------------------------
     def handle_message(self, message) -> None:
-        from repro.runtime.combining import BatchTokenMsg
+        global _BatchTokenMsg
+        BatchTokenMsg = _BatchTokenMsg
+        if BatchTokenMsg is None:
+            # Deferred to dodge the host <-> combining import cycle; one
+            # lookup ever instead of one per message.
+            from repro.runtime.combining import BatchTokenMsg as _cls
 
+            BatchTokenMsg = _BatchTokenMsg = _cls  # repro: thread-safe: write-once import memo, idempotent
         if isinstance(message, TokenMsg):
-            self._handle_tokens(message.path, [(message.port, message.token)])
+            self._handle_one(message.path, message.port, message.token)
         elif isinstance(message, BatchTokenMsg):
             self._handle_tokens(message.path, list(message.items))
         else:  # pragma: no cover - no other message kinds today
             raise ProtocolError("unknown message %r" % (message,))
 
+    def _handle_one(self, path: Path, port: int, token: Token) -> None:
+        """:meth:`_handle_tokens` specialised for the single-token
+        message that dominates uncombined traffic (no batch list)."""
+        system = self.system
+        system.note_token_arrived(path)
+        system._unowe(token)
+        if path in self.frozen:
+            self.buffers.setdefault(path, []).append((port, token))
+            return
+        state = self.components.get(path)
+        if state is None:
+            system.reroute_token(path, port, token)
+            return
+        self.tokens_routed.increment()
+        out_port = state.route_token(port)
+        dest = self._edge(path, state, out_port)
+        if dest[0] == "out":
+            system.retire_token(token, state, out_port, dest[1])
+        else:
+            _, dest_path, dest_port = dest
+            system.send_token(dest_path, dest_port, token)
+
     def _handle_tokens(self, path: Path, items: List[Tuple[int, Token]]) -> None:
         system = self.system
+        note_arrived = system.note_token_arrived
+        unowe = system._unowe
         for _port, token in items:
-            system.note_token_arrived(path)
-            system._unowe(token)
+            note_arrived(path)
+            unowe(token)
         if path in self.frozen:
             self.buffers.setdefault(path, []).extend(items)
             return
@@ -113,9 +146,9 @@ class NodeHost(SimulatedProcess):
             for port, token in items:
                 system.reroute_token(path, port, token)
             return
+        self.tokens_routed.increment(len(items))
         for port, token in items:
             out_port = state.route_token(port)
-            self.tokens_routed.increment()
             dest = self._edge(path, state, out_port)
             if dest[0] == "out":
                 system.retire_token(token, state, out_port, dest[1])

@@ -36,6 +36,14 @@ class InputLookup:
         #: wire -> input leaf. The mapping is a property of the fixed
         #: tree/wiring, so it is computed once per wire, not per token.
         self._leaves: dict = {}
+        #: wire -> (directory generation, path, port, tries, hash point).
+        #: A resolved lookup stays valid until the deployed cut changes
+        #: (the directory generation stamp moves), so repeat injections
+        #: on a wire skip the ancestor walk — the same remember-your-
+        #: out-neighbour caching Section 3.5 applies on the token plane,
+        #: applied at the client. DHT hops are still counted per call by
+        #: routing to the remembered component's hash point.
+        self._resolved: dict = {}
 
     def _input_leaf(self, wire: int):
         """The leaf that would accept network input ``wire`` in the
@@ -59,6 +67,14 @@ class InputLookup:
         """Locate the live component accepting network input ``wire``."""
         system = self.system
         tree = system.tree
+        generation = system.directory.generation
+        cached = self._resolved.get(wire)
+        if cached is not None and cached[0] == generation:
+            _, path, port, tries, point = cached
+            hops = 0
+            if start_node_id is not None and len(system.ring) > 0:
+                _owner, hops = chord_lookup(system.ring, start_node_id, point)
+            return LookupResult(path, port, tries, hops)
         spec = self._input_leaf(wire)
         tries = 0
         hops = 0
@@ -84,4 +100,11 @@ class InputLookup:
             raise ComponentNotFound(
                 "directory changed during lookup of wire %d" % wire
             )
+        self._resolved[wire] = (
+            generation,
+            member.path,
+            port,
+            tries,
+            system.directory.hash_point(member.path),
+        )
         return LookupResult(member.path, port, tries, hops)

@@ -45,7 +45,7 @@ from repro.runtime.reconfig import Reconfigurator
 from repro.runtime.rules import RulesEngine
 from repro.runtime.audit import StateAuditor
 from repro.runtime.stabilization import Stabilizer
-from repro.runtime.tokens import Token, TokenMsg, TokenStats
+from repro.runtime.tokens import Token, TokenMsg, TokenPool, TokenStats
 from repro.sim.events import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.node import MessageBus
@@ -91,6 +91,8 @@ class AdaptiveCountingSystem:
         convention: MergerConvention = MergerConvention.AHS94,
         auto_stabilize: bool = True,
         combining: Optional[CombiningConfig] = None,
+        coalesce: bool = False,
+        recycle_tokens: bool = False,
         tree=None,
         wiring=None,
     ):
@@ -102,11 +104,27 @@ class AdaptiveCountingSystem:
         self.ring = ChordRing(seed=seed)
         self.rng = random.Random(seed + 1)
         self.sim = Simulator()
-        self.bus = MessageBus(self.sim, latency or ConstantLatency(1.0), service_time)
+        self.bus = MessageBus(
+            self.sim, latency or ConstantLatency(1.0), service_time, coalesce=coalesce
+        )
+        #: Token freelist. With ``recycle_tokens`` off (the default) the
+        #: pool only ever constructs, so behaviour is unchanged; with it
+        #: on, a token is released back the moment retirement completes,
+        #: making sustained injection allocation-free — but the Token a
+        #: caller holds may then be recycled into a *later* token after
+        #: it retires (check ``token.generation`` if retaining).
+        self.token_pool = TokenPool()
+        self.recycle_tokens = recycle_tokens
         self.control_latency = 1.0
         self.step_multiplier = step_multiplier
         self.auto_stabilize = auto_stabilize
         self.directory = ComponentDirectory(self.tree, self.ring)
+        #: Hoisted C-level liveness/owner probe for the per-hop path.
+        self._owner_of = self.directory.owner_reader()
+        #: Shared edge-resolution memo, valid for one directory
+        #: generation (see :meth:`resolve_edge`).
+        self._edge_memo: Dict[Tuple[Path, int], Tuple] = {}  # repro: owned-by: single-writer
+        self._edge_memo_stamp = -1  # repro: owned-by: single-writer
         self.hosts: Dict[int, NodeHost] = {}
         # Sorted list of live node ids, maintained incrementally by the
         # membership layer so the token hot path never re-sorts
@@ -240,7 +258,9 @@ class AdaptiveCountingSystem:
             self._next_wire = (self._next_wire + 1) % self.width
         if from_node is None and self._live_nodes:
             from_node = self.rng.choice(self._live_nodes)
-        token = Token(self._token_counter.fetch_increment(), wire, self.sim.now)
+        token = self.token_pool.acquire(
+            self._token_counter.fetch_increment(), wire, self.sim.now
+        )
         self.token_stats.issued.increment()
         self.injected_per_wire.increment(wire)
         obs = _obs.ACTIVE
@@ -290,23 +310,45 @@ class AdaptiveCountingSystem:
         share one message.
         """
         path = tuple(path)
-        if not self.directory.is_live(path):
+        if self._owner_of(path) is None:
             self.reroute_token(path, port, token)
             return
         if self.combiner is not None:
             self._owe(path, port, token)
             self.combiner.offer(path, port, token)
             return
-        self.dispatch_batch(path, [(port, token)])
+        self._dispatch_one(path, port, token)
+
+    def _dispatch_one(self, path: Path, port: int, token: Token) -> None:
+        """:meth:`dispatch_batch` specialised for one token — the
+        per-hop common case without combining — skipping the batch list
+        machinery. ``path`` must already be a live tuple."""
+        owner = self._owner_of(path)
+        token.hops += 1
+        self._owe(path, port, token)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.token_hop(self.sim.now, token, path, port, 1)
+        self._inflight.post(path)
+        self.bus.send(
+            owner,
+            TokenMsg(path, port, token),
+            kind="token",
+            on_undeliverable=lambda: self._one_undelivered(path, port, token),
+        )
+
+    def _one_undelivered(self, path: Path, port: int, token: Token) -> None:
+        self.note_token_arrived(path)
+        self._retry(path, port, token)
 
     def dispatch_batch(self, path: Path, items) -> None:
         """Ship a batch of (port, token) pairs as one message."""
         path = tuple(path)
-        if not self.directory.is_live(path):
+        owner = self._owner_of(path)
+        if owner is None:
             for port, token in items:
                 self.reroute_token(path, port, token)
             return
-        owner = self.directory.owner(path)
         obs = _obs.ACTIVE
         if obs.enabled:
             now = self.sim.now
@@ -325,11 +367,14 @@ class AdaptiveCountingSystem:
             message = TokenMsg(path, port, token)
         else:
             message = BatchTokenMsg(path, tuple(items))
+        # Every caller hands over ownership of ``items`` (a fresh list or
+        # a popped combining buffer), so the drop callback can capture it
+        # directly instead of deferring a defensive copy.
         self.bus.send(
             owner,
             message,
             kind="token",
-            on_undeliverable=lambda: self._batch_undelivered(path, list(items)),
+            on_undeliverable=lambda: self._batch_undelivered(path, items),
         )
 
     def _batch_undelivered(self, path: Path, items) -> None:
@@ -457,6 +502,10 @@ class AdaptiveCountingSystem:
         self.token_stats.record_retired(token)
         for callback in self._retire_callbacks:
             callback(token)
+        if self.recycle_tokens:
+            # After the retire callbacks: they are the last sanctioned
+            # readers of this token's fields.
+            self.token_pool.release(token)
 
     def on_retire(self, callback: Callable[[Token], None]) -> None:
         """Register a callback invoked whenever a token retires."""
@@ -499,18 +548,55 @@ class AdaptiveCountingSystem:
         for host in self.hosts.values():
             host.clear_edge_cache()
 
+    def publish_pool_stats(self) -> Dict[str, Dict[str, int]]:
+        """Snapshot every freelist (envelopes, tokens, event handles)
+        into the active recorder's gauges and return the snapshot.
+
+        Called at section boundaries (bench scenarios, experiment
+        epochs) — deliberately not per event, so pooling costs no obs
+        traffic on the hot path.
+        """
+        snapshot = {
+            "envelopes": self.bus.pool_stats(),
+            "tokens": self.token_pool.stats(),
+            "handles": self.sim.pool_stats(),
+        }
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            for name, stats in snapshot.items():
+                obs.pool_stats(
+                    name, stats["created"], stats["reused"], stats["free"]
+                )
+        return snapshot
+
     def resolve_edge(self, spec: ComponentSpec, out_port: int):
         """Where (``spec``, output ``out_port``) leads under the live cut.
 
         ``("missing", path, port)`` marks a crash hole: the token is
         addressed to the hole's subtree root and retried until
         stabilisation restores a member there.
+
+        Resolutions are memoised per directory generation and shared by
+        every host: the answer depends only on the deployed cut, so when
+        one host has resolved an edge, the other 2k need not repeat the
+        wiring walk — per-host caches warm from here. Even crash holes
+        memoise safely: recovery re-registers the component, which bumps
+        the generation and drops the memo wholesale.
         """
-        resolved = self.wiring.resolve_output(
-            spec, out_port, self.directory.live_paths()
-        )
-        if resolved[0] in ("member", "missing"):
-            return (resolved[0], resolved[1].path, resolved[2])
+        generation = self.directory.generation
+        memo = self._edge_memo
+        if self._edge_memo_stamp != generation:
+            memo.clear()
+            self._edge_memo_stamp = generation
+        key = (spec.path, out_port)
+        resolved = memo.get(key)
+        if resolved is None:
+            resolved = self.wiring.resolve_output(
+                spec, out_port, self.directory.live_paths()
+            )
+            if resolved[0] in ("member", "missing"):
+                resolved = (resolved[0], resolved[1].path, resolved[2])
+            memo[key] = resolved
         return resolved
 
     # ------------------------------------------------------------------

@@ -1,20 +1,51 @@
-"""The discrete-event engine: a clock and an ordered event queue.
+"""The discrete-event engine: a clock and a calendar-queue event core.
+
+Event storage
+-------------
+The queue is an array-backed *calendar queue* (timing wheel): events
+are grouped into per-timestamp buckets (``_buckets``: time -> bucket)
+and a small binary heap (``_times``) holds each distinct pending
+timestamp exactly once. Message traffic overwhelmingly shares a handful
+of delays (link latency is drawn from a small discrete set), so the
+common case is an O(1) append to an existing bucket and an O(1) pop
+from its front — the heap is only touched when a *new* timestamp
+appears or a bucket drains, which is the rare case the lazy-deletion
+heap always handled. The dispatch order is identical to the old global
+heap, bit for bit:
+
+* with no :class:`SchedulePolicy` installed (the default), buckets are
+  ``deque``\\ s in scheduling order — FIFO within a timestamp is exactly
+  the old ``(time, seq)`` order;
+* with a policy installed, buckets are small per-timestamp heaps of
+  ``(key, handle)`` pairs, so ties break by the policy's injective key
+  exactly as they did in the global ``(time, key, handle)`` heap.
+
+Buckets live in the dict until *exhausted* (lazily removed at dispatch),
+so a callback that schedules back into the current instant joins the
+draining bucket and keeps its position in the total order.
 
 Event lifecycle
 ---------------
 ``schedule``/``schedule_at`` wrap the callback in a slotted
-:class:`EventHandle` and push ``(time, sequence, handle)`` onto a binary
-heap — the tuple keeps heap comparisons in C (handles are never
-compared). The handle supports *lazy cancellation*: ``cancel`` marks it
-and drops the callback reference immediately (so captured state is
+:class:`EventHandle` supporting *lazy cancellation*: ``cancel`` marks
+it and drops the callback reference immediately (so captured state is
 freed at cancel time, not fire time), and the run loops pop-and-skip
 cancelled entries without counting them as executed events. This is how
-RPC timeout guards disappear on reply instead of surviving in the heap
+RPC timeout guards disappear on reply instead of surviving in the queue
 as dead no-op closures until their fire time.
 
+``schedule_pooled``/``schedule_at_pooled`` are the fire-and-forget
+variants for callers that never cancel (the message bus's delivery
+trampoline): they return nothing and draw their handles from a
+simulator-owned freelist — a fired pooled handle goes straight back to
+the freelist instead of the allocator. Pooling is safe *because* the
+handle is unobservable: no caller can hold a stale reference across a
+reuse, so the cancel-after-fire ABA hazard cannot arise. ``pool_stats``
+reports the freelist's traffic for the ``repro.obs`` gauges.
+
 ``pending`` counts *live* events only (a cancelled-events counter is
-maintained alongside the heap), so quiescence checks built on it do not
-see cancelled timers.
+maintained alongside the buckets), so quiescence checks built on it do
+not see cancelled timers.
 
 The run loops (:meth:`Simulator.run_until_idle` / :meth:`run_until`)
 inline :meth:`step` with hoisted attribute lookups, and they keep the
@@ -26,8 +57,8 @@ would exceed it.
 
 Schedule tie-break policies
 ---------------------------
-Same-timestamp events are FIFO-ordered by default (the monotonic
-sequence number). That order is *one legal schedule* among many: any
+Same-timestamp events are FIFO-ordered by default (bucket order equals
+scheduling order). That order is *one legal schedule* among many: any
 interleaving of same-timestamp events is permitted by the model, and
 code that is only correct under the FIFO accident is code that will
 break the moment real threads (or a real network) reorder it. A
@@ -40,17 +71,18 @@ bench scenarios under it and asserts the invariant set still holds.
 Policies are installed per-simulator at construction, snapshotting the
 module-level :data:`POLICY_FACTORY` swap point (see
 :func:`schedule_policy`); with no policy installed the scheduling hot
-path is exactly the pre-sanitizer code.
+path never touches the sequence counter at all.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from collections import deque
 from contextlib import contextmanager
+from heapq import heappop, heappush
 from math import isfinite
 from random import Random
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.atomics import AtomicCounter
 from repro.errors import SimulationError
@@ -61,11 +93,11 @@ class SchedulePolicy:
     """How same-timestamp events are ordered (and messages delayed).
 
     ``key(seq)`` maps the monotonic scheduling sequence number to the
-    integer tie-break key stored in the heap entry: heap order is
-    ``(time, key)`` and keys are unique, so any injective mapping
-    yields a deterministic total order. ``delivery_jitter()`` is extra
-    network delay the message bus adds per send (0.0 for exact
-    latency-model behaviour).
+    integer tie-break key stored in the per-timestamp bucket heap:
+    dispatch order is ``(time, key)`` and keys are unique, so any
+    injective mapping yields a deterministic total order.
+    ``delivery_jitter()`` is extra network delay the message bus adds
+    per send (0.0 for exact latency-model behaviour).
     """
 
     def key(self, seq: int) -> int:
@@ -142,15 +174,20 @@ class EventHandle:
 
     Returned by :meth:`Simulator.schedule` / :meth:`schedule_at`; pass
     it to :meth:`Simulator.cancel` to deschedule the callback. The
-    record is deliberately tiny (two slots) — it is allocated on every
-    schedule, on the hot path of every message send.
+    record is deliberately tiny (three slots) — it is allocated on
+    every schedule, on the hot path of every message send. ``pooled``
+    marks handles owned by the simulator's freelist
+    (:meth:`Simulator.schedule_pooled`): such handles are never handed
+    to a caller, so they can be recycled the instant they fire without
+    any reference going stale.
     """
 
-    __slots__ = ("callback", "cancelled")
+    __slots__ = ("callback", "cancelled", "pooled")
 
-    def __init__(self, callback: Callable[[], None]):
+    def __init__(self, callback: Callable[[], None], pooled: bool = False):
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        self.pooled = pooled
 
     @property
     def live(self) -> bool:
@@ -158,8 +195,10 @@ class EventHandle:
         return self.callback is not None and not self.cancelled
 
 
-#: Internal alias: the heap entry shape.
-_Entry = Tuple[float, int, EventHandle]
+#: FIFO-mode bucket: handles in scheduling order.
+_FifoBucket = Deque[EventHandle]
+#: Policy-mode bucket: a heapq list of (tie-break key, handle).
+_KeyedBucket = List[Tuple[int, EventHandle]]
 
 
 class Simulator:
@@ -171,22 +210,70 @@ class Simulator:
     """
 
     def __init__(self, policy: Optional[SchedulePolicy] = None):
-        self._queue: List[_Entry] = []
+        #: Calendar buckets: timestamp -> same-timestamp events. A
+        #: bucket stays here until exhausted, so same-instant schedules
+        #: during its drain join it in order.
+        self._buckets: Dict[float, object] = {}
+        #: One heap entry per distinct pending timestamp (the bucket
+        #: anchors); kept in lockstep with ``_buckets``.
+        self._times: List[float] = []
+        #: Recycled empty bucket containers (deques or lists, matching
+        #: the simulator's mode for its whole lifetime).
+        self._bucket_pool: List[object] = []
+        #: Freelist of fire-and-forget EventHandles plus its traffic
+        #: counters (read by :meth:`pool_stats`, mutated only by the
+        #: event loop).
+        self._handle_pool: List[EventHandle] = []
+        self._handles_created = 0  # repro: owned-by: single-writer
+        self._handles_reused = 0  # repro: owned-by: single-writer
         self._sequence = itertools.count()
-        #: Cancelled entries still sitting in the heap (lazy deletion).
+        #: Cancelled entries still sitting in buckets (lazy deletion).
         self._cancelled = AtomicCounter()  # repro: owned-by: shared
         #: Remaining ``max_events`` slots of the innermost bounded run,
         #: or None when unbounded; shared with the bus's inline path so
         #: the bound stays exact (see :meth:`claim_inline_slot`).
         self._budget: Optional[int] = None
         #: Tie-break policy, fixed for the simulator's lifetime. None —
-        #: the common case — keeps scheduling on the raw-sequence fast
+        #: the common case — keeps scheduling on the FIFO-deque fast
         #: path, byte-identical to the pre-policy engine.
         if policy is None and POLICY_FACTORY is not None:
             policy = POLICY_FACTORY()
         self.policy = policy
+        self._fifo = policy is None
+        #: Mode-specific insert, bound once (the branch would otherwise
+        #: run on every schedule).
+        self._enqueue = self._enqueue_fifo if self._fifo else self._enqueue_keyed
         self.now = 0.0
         self.events_run = AtomicCounter()  # repro: owned-by: shared
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _enqueue_fifo(self, time: float, handle: EventHandle) -> None:
+        """Insert into the bucket for ``time`` (creating the bucket and
+        its heap anchor if this timestamp is new) — FIFO mode, where the
+        sequence counter is never consumed."""
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else deque()
+            buckets[time] = bucket
+            heappush(self._times, time)
+        bucket.append(handle)  # type: ignore[attr-defined]
+
+    def _enqueue_keyed(self, time: float, handle: EventHandle) -> None:
+        """Policy-mode insert: the bucket is a heap of (tie-break key,
+        handle); keys are injective so handles are never compared."""
+        key = self.policy.key(next(self._sequence))  # type: ignore[union-attr]
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else []
+            buckets[time] = bucket
+            heappush(self._times, time)
+        heappush(bucket, (key, handle))  # type: ignore[arg-type]
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` time units from now."""
@@ -195,11 +282,7 @@ class Simulator:
                 "cannot schedule a negative or non-finite delay (delay=%r)" % delay
             )
         handle = EventHandle(callback)
-        key = next(self._sequence)
-        policy = self.policy
-        if policy is not None:
-            key = policy.key(key)
-        heapq.heappush(self._queue, (self.now + delay, key, handle))
+        self._enqueue(self.now + delay, handle)
         return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
@@ -211,17 +294,44 @@ class Simulator:
                 "cannot schedule at %r, current time is %r" % (time, self.now)
             )
         handle = EventHandle(callback)
-        key = next(self._sequence)
-        policy = self.policy
-        if policy is not None:
-            key = policy.key(key)
-        heapq.heappush(self._queue, (time, key, handle))
+        self._enqueue(time, handle)
         return handle
+
+    def _acquire_handle(self, callback: Callable[[], None]) -> EventHandle:
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.callback = callback
+            self._handles_reused += 1
+        else:
+            handle = EventHandle(callback, pooled=True)
+            self._handles_created += 1
+        return handle
+
+    def schedule_pooled(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned, so
+        the event cannot be cancelled — in exchange its handle comes
+        from (and returns to) the simulator's freelist."""
+        if delay < 0 or not isfinite(delay):
+            raise SimulationError(
+                "cannot schedule a negative or non-finite delay (delay=%r)" % delay
+            )
+        self._enqueue(self.now + delay, self._acquire_handle(callback))
+
+    def schedule_at_pooled(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at` using the handle freelist."""
+        if not isfinite(time):
+            raise SimulationError("cannot schedule at non-finite time %r" % time)
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule at %r, current time is %r" % (time, self.now)
+            )
+        self._enqueue(time, self._acquire_handle(callback))
 
     def cancel(self, handle: EventHandle) -> bool:
         """Deschedule an event; returns whether it was still live.
 
-        Cancellation is lazy: the heap entry stays put and is skipped
+        Cancellation is lazy: the bucket entry stays put and is skipped
         (uncounted) when it surfaces. Cancelling an event that already
         fired or was already cancelled is a no-op returning False, so
         reply paths may cancel their timeout guard unconditionally.
@@ -236,18 +346,36 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of *live* events still queued (cancelled excluded)."""
-        return len(self._queue) - self._cancelled.get()
+        queued = sum(len(bucket) for bucket in self._buckets.values())  # type: ignore[arg-type]
+        return queued - self._cancelled.get()
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Handle-freelist traffic: constructed, recycled, and idle."""
+        return {
+            "created": self._handles_created,
+            "reused": self._handles_reused,
+            "free": len(self._handle_pool),
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _retire_bucket(self, time: float, bucket: object) -> None:
+        """Drop an exhausted bucket and recycle its container."""
+        heappop(self._times)
+        del self._buckets[time]
+        self._bucket_pool.append(bucket)
 
     def claim_inline_slot(self, time: float) -> bool:
-        """Whether an event at ``time`` may run inline, skipping the heap.
+        """Whether an event at ``time`` may run inline, skipping the queue.
 
         The message bus's same-timestamp delivery fast path asks this
         before invoking a callback directly instead of round-tripping it
-        through a heap push/pop. Claiming succeeds only when running the
+        through a schedule/pop. Claiming succeeds only when running the
         callback *now* is provably identical to scheduling it: ``time``
         is the current instant and every queued live event is strictly
-        later (a freshly scheduled event would carry the largest
-        sequence number, so it would be popped next anyway). A granted
+        later (a freshly scheduled event would land at the back of the
+        current bucket, so it would be popped next anyway). A granted
         claim is charged like a popped event — ``events_run`` and the
         active ``max_events`` budget — keeping accounting exact; when
         the budget is exhausted the claim is refused and the caller must
@@ -255,11 +383,28 @@ class Simulator:
         """
         if time != self.now:
             return False
-        queue = self._queue
-        while queue and queue[0][2].cancelled:  # lazy-deletion housekeeping
-            heapq.heappop(queue)
-            self._cancelled.decrement()
-        if queue and queue[0][0] <= time:
+        times = self._times
+        fifo = self._fifo
+        while times:
+            head = times[0]
+            if head > time:
+                # Common case: everything queued is strictly later, and
+                # whatever cancelled entries sit behind ``head`` cannot
+                # change that — skip the housekeeping entirely.
+                break
+            bucket = self._buckets[head]
+            # Lazy-deletion housekeeping at the queue head.
+            if fifo:
+                while bucket and bucket[0].cancelled:  # type: ignore[index, attr-defined]
+                    bucket.popleft()  # type: ignore[attr-defined]
+                    self._cancelled.decrement()
+            else:
+                while bucket and bucket[0][1].cancelled:  # type: ignore[index]
+                    heappop(bucket)  # type: ignore[arg-type]
+                    self._cancelled.decrement()
+            if not bucket:
+                self._retire_bucket(head, bucket)
+                continue
             return False
         budget = self._budget
         if budget is not None:
@@ -274,20 +419,32 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next live event; returns False when none remain."""
-        queue = self._queue
-        while queue:
-            time, _seq, handle = heapq.heappop(queue)
+        times = self._times
+        buckets = self._buckets
+        fifo = self._fifo
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            if not bucket:
+                self._retire_bucket(time, bucket)
+                continue
+            if fifo:
+                handle = bucket.popleft()  # type: ignore[attr-defined]
+            else:
+                handle = heappop(bucket)[1]  # type: ignore[arg-type]
             if handle.cancelled:
                 self._cancelled.decrement()
                 continue
             callback = handle.callback
             handle.callback = None
+            if handle.pooled:
+                self._handle_pool.append(handle)
             self.now = time
             self.events_run.increment()
             obs = _obs.ACTIVE
             if obs.enabled:
                 obs.event_executed(time)
-            callback()  # type: ignore[misc]  # live entries hold a callback
+            callback()  # type: ignore[misc]
             return True
         return False
 
@@ -302,8 +459,10 @@ class Simulator:
         extra event), and events the bus delivers inline count against
         it like any other.
         """
-        queue = self._queue
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
+        fifo = self._fifo
+        handle_pool = self._handle_pool
         events_run = self.events_run
         drop_cancelled = self._cancelled.decrement
         started = events_run.get()
@@ -314,11 +473,20 @@ class Simulator:
         # inline deliveries directly, between the flushes).
         popped = 0
         try:
-            while queue:
-                entry = queue[0]
-                handle = entry[2]
+            while times:
+                time = times[0]
+                bucket = buckets[time]
+                if not bucket:
+                    self._retire_bucket(time, bucket)
+                    continue
+                # Peek before charging: an exhausted budget must leave
+                # the event queued, and a cancelled head is uncounted.
+                handle = bucket[0] if fifo else bucket[0][1]  # type: ignore[index]
                 if handle.cancelled:
-                    pop(queue)
+                    if fifo:
+                        bucket.popleft()  # type: ignore[attr-defined]
+                    else:
+                        heappop(bucket)  # type: ignore[arg-type]
                     drop_cancelled()
                     continue
                 budget = self._budget  # re-read: inline deliveries consume it
@@ -328,16 +496,21 @@ class Simulator:
                             "simulation did not quiesce within %d events" % max_events
                         )
                     self._budget = budget - 1
-                pop(queue)
+                if fifo:
+                    bucket.popleft()  # type: ignore[attr-defined]
+                else:
+                    heappop(bucket)  # type: ignore[arg-type]
                 callback = handle.callback
                 handle.callback = None
-                self.now = entry[0]
+                if handle.pooled:
+                    handle_pool.append(handle)
+                self.now = time
                 popped += 1
                 obs = _obs.ACTIVE
                 if obs.enabled:
                     events_run.increment(popped)
                     popped = 0
-                    obs.event_executed(entry[0])
+                    obs.event_executed(time)
                 callback()  # type: ignore[misc]
         finally:
             if popped:
@@ -349,8 +522,10 @@ class Simulator:
         """Run all events scheduled strictly before ``time``; advances
         the clock to ``time``. ``max_events`` bounds execution exactly,
         as in :meth:`run_until_idle`."""
-        queue = self._queue
-        pop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
+        fifo = self._fifo
+        handle_pool = self._handle_pool
         events_run = self.events_run
         drop_cancelled = self._cancelled.decrement
         started = events_run.get()
@@ -358,11 +533,18 @@ class Simulator:
         self._budget = max_events
         popped = 0  # folded into events_run once per batch, as above
         try:
-            while queue and queue[0][0] < time:
-                entry = queue[0]
-                handle = entry[2]
+            while times and times[0] < time:
+                head = times[0]
+                bucket = buckets[head]
+                if not bucket:
+                    self._retire_bucket(head, bucket)
+                    continue
+                handle = bucket[0] if fifo else bucket[0][1]  # type: ignore[index]
                 if handle.cancelled:
-                    pop(queue)
+                    if fifo:
+                        bucket.popleft()  # type: ignore[attr-defined]
+                    else:
+                        heappop(bucket)  # type: ignore[arg-type]
                     drop_cancelled()
                     continue
                 budget = self._budget
@@ -370,16 +552,21 @@ class Simulator:
                     if budget <= 0:
                         raise SimulationError("too many events before time %r" % time)
                     self._budget = budget - 1
-                pop(queue)
+                if fifo:
+                    bucket.popleft()  # type: ignore[attr-defined]
+                else:
+                    heappop(bucket)  # type: ignore[arg-type]
                 callback = handle.callback
                 handle.callback = None
-                self.now = entry[0]
+                if handle.pooled:
+                    handle_pool.append(handle)
+                self.now = head
                 popped += 1
                 obs = _obs.ACTIVE
                 if obs.enabled:
                     events_run.increment(popped)
                     popped = 0
-                    obs.event_executed(entry[0])
+                    obs.event_executed(head)
                 callback()  # type: ignore[misc]
         finally:
             if popped:

@@ -45,6 +45,44 @@ class UniformLatency(LatencyModel):
         return self.rng.uniform(self.low, self.high)
 
 
+class DiscreteLatency(LatencyModel):
+    """Latency drawn from a small finite set of values.
+
+    Models a network with a handful of distinct path classes (same rack,
+    same site, cross-site) instead of a continuum. Besides realism, the
+    small value set is what makes the simulator's calendar queue earn
+    its keep at scale: messages sent at the same instant with the same
+    path class arrive at the same timestamp, so events share buckets
+    (and, with coalescing on, share trampolines) instead of degenerating
+    into one bucket per event the way continuous latency does.
+
+    ``weights`` (optional) biases the draw; by default all values are
+    equally likely.
+    """
+
+    def __init__(self, values, rng: random.Random, weights=None):
+        values = list(values)
+        if not values:
+            raise SimulationError("need at least one latency value")
+        for value in values:
+            if value < 0:
+                raise SimulationError("latency cannot be negative")
+        if weights is not None:
+            weights = list(weights)
+            if len(weights) != len(values):
+                raise SimulationError("weights must match values one-to-one")
+            if any(weight < 0 for weight in weights) or not sum(weights):
+                raise SimulationError("weights must be nonnegative, not all zero")
+        self.values = values
+        self.weights = weights
+        self.rng = rng
+
+    def sample(self) -> float:
+        if self.weights is None:
+            return self.rng.choice(self.values)
+        return self.rng.choices(self.values, weights=self.weights, k=1)[0]
+
+
 class ExponentialLatency(LatencyModel):
     """Exponentially distributed latency with the given mean."""
 

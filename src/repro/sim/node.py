@@ -15,19 +15,51 @@ envelope's ``arrive`` trampoline after network transit, and ``arrive``
 either queues ``deliver`` behind the destination's service queue or —
 when the destination is idle, costs no service time, and the delivery
 would provably be the very next event anyway — runs it inline via
-:meth:`Simulator.claim_inline_slot`, skipping the heap push/pop
-round-trip without perturbing event order or accounting.
+:meth:`Simulator.claim_inline_slot`, skipping the queue round-trip
+without perturbing event order or accounting.
+
+Envelope pooling
+----------------
+Envelopes are drawn from a per-bus freelist and recycled the moment
+their delivery (or drop) completes, making the send→deliver hot path
+allocation-free in steady state. Recycling is safe because the delivery
+paths extract every field they need into locals *before* releasing, so
+an envelope re-acquired by a re-entrant send inside the message handler
+cannot corrupt the delivery in progress. Each release bumps the
+envelope's ``generation`` stamp; anything that holds an envelope
+reference across events (the coalescing map below) captures the stamp
+at hold time and treats a mismatch as "this is a different message now"
+— the same epoch-style ABA discipline the bus already applies to
+re-registered addresses.
+
+Same-edge coalescing
+--------------------
+With ``coalesce=True`` the bus merges same-destination messages that
+would arrive at the same instant into one trampoline event: the first
+send schedules its envelope's ``arrive`` normally and parks it in
+``_parked_primaries`` keyed by ``(destination, arrival time)``; later
+sends matching the key chain their envelopes onto the parked one
+instead of scheduling anything, and the single ``arrive`` drains the
+chain in send order. Per-message accounting (service queueing, in-flight
+ledger, obs hooks) is unchanged — only the number of *events* shrinks —
+but because event counts and interleaving with other same-timestamp
+events do change, coalescing is opt-in and off everywhere the committed
+golden fingerprints apply (the ``huge`` bench profile turns it on).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.atomics import AtomicCounter, GuardedMap, TokenLedger
 from repro.errors import SimulationError
 from repro.obs import recorder as _obs
 from repro.sim.events import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
+
+#: The coalescing park: (destination, arrival time) -> (primary
+#: envelope, its generation stamp at parking time).
+ParkedMap = Dict[Tuple[Hashable, float], Tuple["Envelope", int]]
 
 
 class SimulatedProcess:
@@ -44,9 +76,23 @@ class Envelope:
     need; its bound methods ``arrive`` and ``deliver`` are the event
     callbacks (the *delivery trampoline*), so sending a message costs
     one envelope instead of three closures with captured cells.
+    Envelopes are pool-owned: construct them only through
+    :meth:`MessageBus._acquire_envelope` (the RSC307 lint enforces
+    this), and ``generation`` counts how many times this record has
+    been recycled — the ABA stamp for anything holding a reference
+    across events.
     """
 
-    __slots__ = ("bus", "to_address", "message", "kind", "on_undeliverable", "sent_epoch")
+    __slots__ = (
+        "bus",
+        "to_address",
+        "message",
+        "kind",
+        "on_undeliverable",
+        "sent_epoch",
+        "generation",
+        "chained",
+    )
 
     def __init__(
         self,
@@ -63,6 +109,10 @@ class Envelope:
         self.kind = kind
         self.on_undeliverable = on_undeliverable
         self.sent_epoch = sent_epoch
+        self.generation = 0
+        #: Same-edge envelopes coalesced behind this one (send order),
+        #: or None. Only ever non-None on a parked primary envelope.
+        self.chained: Optional[List["Envelope"]] = None
 
     def addressee(self) -> Optional[SimulatedProcess]:
         """The live destination process, or None (gone or re-registered)."""
@@ -75,23 +125,49 @@ class Envelope:
         return process
 
     def arrive(self) -> None:
-        """Network transit ended: enter the destination's service queue."""
+        """Network transit ended: enter the destination's service queue.
+
+        When coalescing is on, this is also where a parked primary
+        unparks itself and drains its chained same-edge envelopes —
+        one event, N message deliveries, identical per-message
+        accounting.
+        """
+        bus = self.bus
+        if bus.coalesce:
+            bus._parked_primaries.pop((self.to_address, bus.simulator.now), None)
+            chained = self.chained
+            if chained is not None:
+                self.chained = None
+                self._arrive_one()
+                for envelope in chained:
+                    envelope._arrive_one()
+                return
+        self._arrive_one()
+
+    def _arrive_one(self) -> None:
         bus = self.bus
         current = self.addressee()
         if current is None:
-            bus._finish(self.kind)
+            kind = self.kind
+            on_undeliverable = self.on_undeliverable
+            bus._finish(kind)
             bus.messages_dropped.increment()
             obs = _obs.ACTIVE
             if obs.enabled:
-                obs.bus_dropped(bus.simulator.now, self.kind)
-            if self.on_undeliverable is not None:
-                self.on_undeliverable()
+                obs.bus_dropped(bus.simulator.now, kind)
+            bus._release_envelope(self)
+            if on_undeliverable is not None:
+                on_undeliverable()
             return
         simulator = bus.simulator
         now = simulator.now
         busy = bus._busy_of(self.to_address)
         finish = (busy if busy is not None and busy > now else now) + bus.service_time
-        bus._busy_until.put(self.to_address, finish)
+        if finish != now:
+            bus._busy_until.put(self.to_address, finish)
+        # else: an idle destination with zero service cost stays "busy
+        # until now", which any existing entry already implies — skipping
+        # the write keeps the zero-service hot path free of map traffic.
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.bus_queued(now, self.kind, finish - now)
@@ -103,27 +179,34 @@ class Envelope:
             # call, so the resolution cannot have gone stale.
             self._deliver_to(current)
             return
-        simulator.schedule_at(finish, self.deliver)
+        simulator.schedule_at_pooled(finish, self.deliver)
 
     def deliver(self) -> None:
         """Service slot reached: hand the payload to the process."""
         self._deliver_to(self.addressee())
 
     def _deliver_to(self, current: Optional[SimulatedProcess]) -> None:
+        # Extract everything before releasing: the released envelope may
+        # be re-acquired by a send issued inside the handler below.
         bus = self.bus
-        bus._finish(self.kind)
+        kind = self.kind
+        message = self.message
+        on_undeliverable = self.on_undeliverable
+        bus._finish(kind)
         obs = _obs.ACTIVE
         if current is None:
             bus.messages_dropped.increment()
             if obs.enabled:
-                obs.bus_dropped(bus.simulator.now, self.kind)
-            if self.on_undeliverable is not None:
-                self.on_undeliverable()
+                obs.bus_dropped(bus.simulator.now, kind)
+            bus._release_envelope(self)
+            if on_undeliverable is not None:
+                on_undeliverable()
             return
         bus.messages_delivered.increment()
         if obs.enabled:
-            obs.bus_delivered(bus.simulator.now, self.kind)
-        current.handle_message(self.message)
+            obs.bus_delivered(bus.simulator.now, kind)
+        bus._release_envelope(self)
+        current.handle_message(message)
 
 
 class MessageBus:
@@ -132,7 +215,9 @@ class MessageBus:
     ``service_time`` is the per-message processing cost at the receiver
     (a single-server FIFO queue per process); ``latency`` is the network
     transit model. Both default to values that make unit tests
-    deterministic.
+    deterministic. ``coalesce`` turns on same-edge arrival coalescing
+    (see the module docstring) — it changes event counts, so leave it
+    off wherever bit-identical event order is pinned.
     """
 
     def __init__(
@@ -140,12 +225,14 @@ class MessageBus:
         simulator: Simulator,
         latency: Optional[LatencyModel] = None,
         service_time: float = 0.0,
+        coalesce: bool = False,
     ):
         if service_time < 0:
             raise SimulationError("service time cannot be negative")
         self.simulator = simulator
         self.latency = latency or ConstantLatency(1.0)
         self.service_time = service_time
+        self.coalesce = coalesce
         self._processes: Dict[Hashable, SimulatedProcess] = {}
         self._busy_until: GuardedMap[Hashable, float] = GuardedMap()  # repro: owned-by: shared
         #: Monotonic per-address registration count. A message captures
@@ -163,6 +250,61 @@ class MessageBus:
         self.messages_delivered = AtomicCounter()  # repro: owned-by: shared
         self.messages_dropped = AtomicCounter()  # repro: owned-by: shared
         self._in_flight_by_kind: TokenLedger[str] = TokenLedger()  # repro: owned-by: shared
+        #: Hoisted ledger mutators for the per-message hot path.
+        self._post_kind = self._in_flight_by_kind.post
+        self._settle_kind = self._in_flight_by_kind.settle
+        #: Envelope freelist and its traffic counters (sim-loop work
+        #: only — acquire in send, release at delivery/drop).
+        self._envelope_pool: List[Envelope] = []  # repro: owned-by: single-writer
+        self._envelopes_created = 0  # repro: owned-by: single-writer
+        self._envelopes_reused = 0  # repro: owned-by: single-writer
+        #: Parked primaries for same-edge coalescing:
+        #: (destination, arrival time) -> (envelope, generation stamp).
+        #: The stamp guards against a recycled envelope masquerading as
+        #: the parked one. Only ``send`` writes; the primary's
+        #: ``arrive`` unparks (pops) its own entry.
+        self._parked_primaries: ParkedMap = {}  # repro: owned-by: single-writer
+
+    # ------------------------------------------------------------------
+    # envelope pool
+    # ------------------------------------------------------------------
+    def _acquire_envelope(
+        self,
+        to_address: Hashable,
+        message,
+        kind: str,
+        on_undeliverable: Optional[Callable[[], None]],
+        sent_epoch: Optional[int],
+    ) -> Envelope:
+        pool = self._envelope_pool
+        if pool:
+            envelope = pool.pop()
+            envelope.to_address = to_address
+            envelope.message = message
+            envelope.kind = kind
+            envelope.on_undeliverable = on_undeliverable
+            envelope.sent_epoch = sent_epoch
+            self._envelopes_reused += 1
+            return envelope
+        self._envelopes_created += 1
+        return Envelope(self, to_address, message, kind, on_undeliverable, sent_epoch)
+
+    def _release_envelope(self, envelope: Envelope) -> None:
+        # The generation bump invalidates any stamp captured while the
+        # envelope was live (see ``_parked_primaries``).
+        envelope.generation += 1
+        envelope.message = None
+        envelope.on_undeliverable = None
+        envelope.chained = None
+        self._envelope_pool.append(envelope)
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Envelope-freelist traffic: constructed, recycled, and idle."""
+        return {
+            "created": self._envelopes_created,
+            "reused": self._envelopes_reused,
+            "free": len(self._envelope_pool),
+        }
 
     # ------------------------------------------------------------------
     # registration
@@ -203,21 +345,44 @@ class MessageBus:
         this is how neighbours notice lost components.
         """
         self.messages_sent.increment()
-        self._in_flight_by_kind.post(kind)
+        self._post_kind(kind)
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.bus_sent(self.simulator.now, kind)
         # None when the destination is not registered yet: such mail may
-        # be picked up by whoever registers first (existing semantics).
-        sent_epoch = self._epochs.get(to_address) if to_address in self._processes else None
-        envelope = Envelope(self, to_address, message, kind, on_undeliverable, sent_epoch)
+        # be picked up by whoever registers first (existing semantics —
+        # a registered address always has an epoch entry, so the hoisted
+        # raw reader is equivalent to the ledger get here).
+        sent_epoch = self._epoch_of(to_address) if to_address in self._processes else None
+        envelope = self._acquire_envelope(
+            to_address, message, kind, on_undeliverable, sent_epoch
+        )
         transit = self.latency.sample()
         # Schedule-perturbation sanitizer hook: an installed policy may
         # stretch network transit by bounded jitter (0.0 by default).
-        policy = self.simulator.policy
+        simulator = self.simulator
+        policy = simulator.policy
         if policy is not None:
             transit += policy.delivery_jitter()
-        self.simulator.schedule(transit, envelope.arrive)
+        if self.coalesce:
+            arrive_at = simulator.now + transit
+            key = (to_address, arrive_at)
+            entry = self._parked_primaries.get(key)
+            if entry is not None:
+                primary, stamp = entry
+                # Generation check: a stale entry whose envelope was
+                # recycled since parking must not absorb new mail.
+                if primary.generation == stamp:
+                    chained = primary.chained
+                    if chained is None:
+                        primary.chained = [envelope]
+                    else:
+                        chained.append(envelope)
+                    return
+            self._parked_primaries[key] = (envelope, envelope.generation)
+            simulator.schedule_at_pooled(arrive_at, envelope.arrive)
+            return
+        simulator.schedule_pooled(transit, envelope.arrive)
 
     def _finish(self, kind: str) -> None:
-        self._in_flight_by_kind.settle(kind)
+        self._settle_kind(kind)

@@ -42,15 +42,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import PROFILES, run_bench
-from repro.bench.result import ScenarioResult
+from repro.bench.result import WALL_CLOCK_METRIC_KEYS, ScenarioResult
 from repro.sim.events import PerturbedPolicy, schedule_policy
 from repro.staticcheck.diagnostics import Report
 
 #: Metric keys measured in wall-clock time — excluded from fingerprints
-#: because they legitimately vary run to run on the same machine.
-WALL_CLOCK_METRICS = frozenset(
-    {"scan_ops_per_sec", "speedup_vs_scan", "batches_per_sec"}
-)
+#: because they legitimately vary run to run on the same machine. The
+#: authoritative set lives next to ``ScenarioResult`` so scenarios and
+#: the sanitizer cannot drift apart.
+WALL_CLOCK_METRICS = WALL_CLOCK_METRIC_KEYS
 
 #: Default perturbation seeds for ``--sanitize`` with no explicit list.
 DEFAULT_SANITIZE_SEEDS: Tuple[int, ...] = (1, 2, 3)

@@ -30,8 +30,20 @@ class TestRunner:
             run_bench(profile="smoke", only=["warp_drive"])
 
     def test_every_profile_parameterises_every_scenario(self):
+        # The standard tiers run the full sweep; the scale profiles
+        # (``huge``/``huge_smoke``) are deliberately single-scenario.
+        for profile in ("smoke", "small", "large"):
+            assert set(PROFILES[profile]) == set(SCENARIOS), profile
         for profile, params in PROFILES.items():
-            assert set(params) == set(SCENARIOS), profile
+            assert set(params) <= set(SCENARIOS), profile
+
+    def test_scale_profiles_run_the_wheel_heavy_scenario(self):
+        for profile in ("huge", "huge_smoke"):
+            assert set(PROFILES[profile]) == {"huge_churn"}
+        # The ISSUE 9 scale floor: >= 2k nodes, >= 1M tokens.
+        params = PROFILES["huge"]["huge_churn"]
+        assert params["nodes"] >= 2000
+        assert params["tokens"] >= 1_000_000
 
     def test_token_routing_scenario(self):
         result = tiny_routing_result()

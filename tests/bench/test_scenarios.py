@@ -7,6 +7,7 @@ function of the seed, and the run must end verify-green.
 """
 
 from repro.bench import run_bench
+from repro.bench.result import WALL_CLOCK_METRIC_KEYS
 from repro.bench.scenarios import bench_large_churn
 
 TINY = {
@@ -21,8 +22,15 @@ TINY = {
 
 
 def strip_wall_clock(result):
-    """Everything in a ScenarioResult except the timing-derived rate."""
-    return (result.name, result.events, result.metrics)
+    """Everything in a ScenarioResult except the timing-derived rate
+    and the wall-clock metrics (schema 3 adds events_per_sec and
+    peak_rss_kb to the end-to-end scenarios)."""
+    metrics = {
+        key: value
+        for key, value in result.metrics.items()
+        if key not in WALL_CLOCK_METRIC_KEYS
+    }
+    return (result.name, result.events, metrics)
 
 
 class TestLargeChurn:

@@ -1,0 +1,225 @@
+"""Calendar-queue equivalence: randomized wheel-vs-heap property suite.
+
+The event core stores events in per-timestamp buckets anchored by a
+small heap of distinct timestamps (`sim.events` module docstring). Its
+correctness claim is *total-order equivalence* with the classic single
+`(time, key)` heap — bit for bit, under FIFO ties and under an
+installed :class:`PerturbedPolicy`, through nested scheduling,
+cancellation, and exact `max_events` budgets. This suite checks the
+claim against an independent reference implementation (a plain `heapq`
+scheduler written here, not shared code) across randomized workloads
+built to collide timestamps hard.
+"""
+
+import itertools
+import random
+from heapq import heappop, heappush
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PerturbedPolicy, Simulator
+
+#: Discrete time grid — few distinct values, many collisions, which is
+#: exactly the regime the calendar queue reorganised storage for.
+GRID = (0.0, 1.0, 1.0, 2.0, 2.5, 3.0)
+
+
+class ReferenceSimulator:
+    """The pre-calendar engine, reimplemented minimally: one global
+    heap of ``(time, key, handle)`` with lazy cancellation. This is the
+    specification the wheel must match event for event."""
+
+    def __init__(self, policy=None):
+        self._heap = []
+        self._seq = itertools.count()
+        self.policy = policy
+        self.now = 0.0
+        self.events_run = 0
+
+    def schedule_at(self, time, callback):
+        if time < self.now:
+            raise SimulationError("cannot schedule into the past")
+        seq = next(self._seq)
+        key = seq if self.policy is None else self.policy.key(seq)
+        handle = [callback, False]  # [callback, cancelled]
+        heappush(self._heap, (time, key, handle))
+        return handle
+
+    def cancel(self, handle):
+        if handle[1] or handle[0] is None:
+            return False
+        handle[1] = True
+        handle[0] = None
+        return True
+
+    def live_pending_times(self):
+        return [time for time, _key, handle in self._heap if not handle[1]]
+
+    def run_until_idle(self, max_events=None):
+        executed = 0
+        while self._heap:
+            time, key, handle = self._heap[0]
+            if handle[1]:
+                heappop(self._heap)
+                continue
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    "simulation did not quiesce within %d events" % max_events
+                )
+            heappop(self._heap)
+            callback = handle[0]
+            handle[0] = None
+            self.now = time
+            executed += 1
+            self.events_run += 1
+            callback()
+        return executed
+
+
+def drive_workload(sim, seed, initial=40, depth_limit=2):
+    """Run one seeded workload against ``sim`` (real or reference).
+
+    Events fire on a collision-heavy grid; a firing event may cancel a
+    random live handle and/or schedule nested events (including
+    same-instant ones, which must join the draining bucket in order).
+    All random draws come from a workload-private RNG, so two engines
+    executing events in the same order make identical draws — any
+    order divergence shows up as diverging fired-label sequences.
+    """
+    rng = random.Random(seed)
+    fired = []
+    handles = []
+
+    def make_event(label, depth):
+        def fire():
+            fired.append((label, sim.now))
+            if handles and rng.random() < 0.3:
+                sim.cancel(handles[rng.randrange(len(handles))])
+            if depth < depth_limit and rng.random() < 0.5:
+                for child in range(rng.randrange(1, 3)):
+                    delay = rng.choice((0.0, 0.0, 0.5, 1.0))
+                    handles.append(
+                        sim.schedule_at(
+                            sim.now + delay, make_event((label, child), depth + 1)
+                        )
+                    )
+
+        return fire
+
+    for index in range(initial):
+        time = rng.choice(GRID)
+        handles.append(sim.schedule_at(time, make_event(index, 0)))
+    sim.run_until_idle(max_events=100_000)
+    return fired
+
+
+class TestWheelHeapEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fifo_order_matches_reference(self, seed):
+        real = drive_workload(Simulator(), seed)
+        reference = drive_workload(ReferenceSimulator(), seed)
+        assert real == reference
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_perturbed_order_matches_reference(self, seed):
+        # Separate but identically seeded policy RNGs: both engines
+        # consume policy.key(seq) once per schedule, in schedule order.
+        real = drive_workload(
+            Simulator(policy=PerturbedPolicy(random.Random(seed + 1000))), seed
+        )
+        reference = drive_workload(
+            ReferenceSimulator(policy=PerturbedPolicy(random.Random(seed + 1000))),
+            seed,
+        )
+        assert real == reference
+
+    def test_perturbed_policy_diverges_from_fifo(self):
+        """The sanitizer's perturbation must actually perturb: on a
+        collision-heavy workload some same-instant group runs in a
+        different order than FIFO (time order itself never changes)."""
+        diverged = False
+        for seed in range(8):
+            fifo = drive_workload(Simulator(), seed)
+            perturbed = drive_workload(
+                Simulator(policy=PerturbedPolicy(random.Random(seed))), seed
+            )
+            assert [time for _label, time in fifo] == sorted(
+                time for _label, time in fifo
+            )
+            if fifo != perturbed:
+                diverged = True
+        assert diverged
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("budget", [1, 7, 23])
+    def test_budget_exhaustion_matches_reference(self, seed, budget):
+        """`max_events` is exact in both engines: same fired prefix,
+        and both raise (or both finish) at the same point."""
+
+        def run(sim):
+            rng = random.Random(seed)
+            fired = []
+
+            def make_event(label):
+                def fire():
+                    fired.append(label)
+                    if rng.random() < 0.4:
+                        sim.schedule_at(
+                            sim.now + rng.choice((0.0, 1.0)),
+                            make_event((label, "child")),
+                        )
+
+                return fire
+
+            for index in range(20):
+                sim.schedule_at(rng.choice(GRID), make_event(index))
+            try:
+                sim.run_until_idle(max_events=budget)
+            except SimulationError:
+                return fired, "raised"
+            return fired, "quiesced"
+
+        assert run(Simulator()) == run(ReferenceSimulator())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_inline_claim_agrees_with_reference_head(self, seed):
+        """`claim_inline_slot(now)` may succeed exactly when every live
+        queued event is strictly later than ``now`` — the condition the
+        reference heap can state directly. A granted claim is charged
+        like an executed event."""
+        rng = random.Random(seed)
+        real = Simulator()
+        reference = ReferenceSimulator()
+        for _ in range(30):
+            time = rng.choice(GRID)
+            real.schedule_at(time, lambda: None)
+            reference.schedule_at(time, lambda: None)
+        # Cancel a random subset (same indices in both — the schedule
+        # calls above returned handles in the same order).
+        # Re-schedule to capture handles this time.
+        real = Simulator()
+        reference = ReferenceSimulator()
+        real_handles, ref_handles = [], []
+        for _ in range(30):
+            time = rng.choice(GRID)
+            real_handles.append(real.schedule_at(time, lambda: None))
+            ref_handles.append(reference.schedule_at(time, lambda: None))
+        for index in range(30):
+            if rng.random() < 0.4:
+                real.cancel(real_handles[index])
+                reference.cancel(ref_handles[index])
+        horizon = rng.choice((0.5, 1.0, 2.0))
+        real.run_until(horizon)
+        while reference._heap and reference._heap[0][0] < horizon:
+            time, _key, handle = heappop(reference._heap)
+            if handle[1]:
+                continue
+            reference.now = time
+            handle[0]()
+        reference.now = max(reference.now, horizon)
+        live = reference.live_pending_times()
+        expected = all(time > reference.now for time in live)
+        before = real.events_run.get()
+        assert real.claim_inline_slot(real.now) is expected
+        assert real.events_run.get() - before == (1 if expected else 0)

@@ -61,6 +61,8 @@ class TestFingerprint:
             "scan_ops_per_sec",
             "speedup_vs_scan",
             "batches_per_sec",
+            "events_per_sec",
+            "peak_rss_kb",
         }
 
 

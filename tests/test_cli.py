@@ -39,7 +39,9 @@ class TestBenchCli:
     def test_bench_smoke_json(self, capsys, tmp_path):
         """`repro bench` runs a full profile, prints the JSON document,
         and writes it to --output."""
-        output = tmp_path / "BENCH_5.json"
+        from repro.bench.harness import BENCH_ID, SCHEMA_VERSION
+
+        output = tmp_path / "BENCH.json"
         code = main(
             ["bench", "--profile", "smoke", "--json", "--output", str(output)]
         )
@@ -47,8 +49,8 @@ class TestBenchCli:
         import json
 
         payload = json.loads(capsys.readouterr().out)
-        assert payload["bench_id"] == "BENCH_5"
-        assert payload["schema"] == 2
+        assert payload["bench_id"] == BENCH_ID
+        assert payload["schema"] == SCHEMA_VERSION
         assert len(payload["scenarios"]) >= 3
         routing = payload["scenarios"]["token_routing"]
         assert routing["metrics"]["speedup_vs_scan"] >= 5.0
@@ -101,12 +103,142 @@ class TestBenchCli:
             ["--trace", str(tmp_path / "t.json")],
             ["--metrics-out", str(tmp_path / "m.jsonl")],
             ["--scenario", "batch_counts"],
-            ["--baseline", str(tmp_path / "b.json")],
         ):
             code = main(["bench", "--backend", "threads"] + flags)
             assert code == 2
             err = capsys.readouterr().err
             assert "not supported with --backend threads" in err
+
+    def test_bench_threads_baseline_gates_regressions(self, capsys, tmp_path):
+        """The threads backend honours --baseline/--max-regression the
+        same way the simulator backend does: an unbeatable baseline cell
+        is a regression (exit 1), a trivially slow one passes (exit 0)."""
+        import json
+
+        from repro.threads.bench import THREADS_BENCH_ID, THREADS_PROFILES
+
+        params = THREADS_PROFILES["smoke"]
+        names = ["locked_counter_t%d" % t for t in params["threads"]]
+        names += [
+            "network_w%d_t%d" % (w, t)
+            for w in params["widths"]
+            for t in params["threads"]
+        ]
+
+        def write_baseline(path, rate):
+            path.write_text(
+                json.dumps(
+                    {
+                        "schema": 2,
+                        "bench_id": THREADS_BENCH_ID,
+                        "backend": "threads",
+                        "profile": "smoke",
+                        "seed": 0,
+                        "verified": True,
+                        "scenarios": {
+                            name: {"ops_per_sec": rate, "events": 1, "metrics": {}}
+                            for name in names
+                        },
+                    }
+                )
+            )
+
+        slow = tmp_path / "slow.json"
+        write_baseline(slow, 1.0)
+        code = main(
+            [
+                "bench",
+                "--backend",
+                "threads",
+                "--profile",
+                "smoke",
+                "--baseline",
+                str(slow),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline %s" % slow in out
+
+        fast = tmp_path / "fast.json"
+        write_baseline(fast, 1e15)  # unbeatable
+        code = main(
+            [
+                "bench",
+                "--backend",
+                "threads",
+                "--profile",
+                "smoke",
+                "--baseline",
+                str(fast),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_bench_threads_baseline_missing_scenario_exits_2(
+        self, capsys, tmp_path
+    ):
+        """The threads sweep has no --scenario filter, so a baseline
+        cell absent from the run means the profile grids diverged."""
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": 2,
+                    "bench_id": "BENCH_THREADS_1",
+                    "backend": "threads",
+                    "profile": "smoke",
+                    "seed": 0,
+                    "verified": True,
+                    "scenarios": {
+                        "network_w4096_t512": {
+                            "ops_per_sec": 1.0,
+                            "events": 1,
+                            "metrics": {},
+                        }
+                    },
+                }
+            )
+        )
+        code = main(
+            [
+                "bench",
+                "--backend",
+                "threads",
+                "--profile",
+                "smoke",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "network_w4096_t512" in captured.err
+        assert "missing" in captured.err
+
+    def test_bench_unknown_profile_lists_valid_set_per_backend(self, capsys):
+        """--profile is validated by the selected backend's registry,
+        not argparse: exit 2 with the backend's valid profile names."""
+        from repro.bench import PROFILES
+        from repro.threads.bench import THREADS_PROFILES
+
+        assert main(["bench", "--profile", "galactic"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown profile 'galactic'" in err
+        for name in PROFILES:
+            assert name in err
+
+        assert (
+            main(["bench", "--backend", "threads", "--profile", "galactic"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown threads profile 'galactic'" in err
+        for name in THREADS_PROFILES:
+            assert name in err
 
     def test_bench_baseline_regression_fails(self, capsys, tmp_path):
         import json
