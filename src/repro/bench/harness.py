@@ -176,7 +176,14 @@ def run_bench(
     seed: int = 0,
     only: Optional[Iterable[str]] = None,
 ) -> List[ScenarioResult]:
-    """Run the profile's scenarios (optionally a subset) in order."""
+    """Run the profile's scenarios (optionally a subset) in order.
+
+    ``only`` may also name declarative scenarios from the
+    ``repro.scenarios`` library: those are self-sizing (the spec
+    carries its own budget), so profile parameters are not required and
+    ``seed`` overrides the spec's seed. A default (unfiltered) run
+    covers exactly the profile's hand-coded scenarios, as before.
+    """
     try:
         profile_params = PROFILES[profile]
     except KeyError:
@@ -185,16 +192,34 @@ def run_bench(
             % (profile, ", ".join(sorted(PROFILES)))
         ) from None
     selected = list(only) if only is not None else list(profile_params)
+    runners = {}
     for name in selected:
-        if name not in SCENARIOS:
+        if name in SCENARIOS:
+            if name not in profile_params:
+                raise BenchmarkError(
+                    "scenario %r has no parameters in profile %r" % (name, profile)
+                )
+            continue
+        # Not a hand-coded bench scenario: try the declarative library.
+        # Imported lazily so the harness stays independent of the DSL
+        # package unless a DSL scenario is actually requested.
+        from repro.scenarios.registry import bench_callable, get_scenario
+        from repro.scenarios.spec import ScenarioSpecError
+
+        try:
+            runners[name] = bench_callable(get_scenario(name))
+        except ScenarioSpecError:
+            from repro.scenarios.registry import library_names
+
             raise BenchmarkError(
-                "unknown scenario %r (choose from %s)"
-                % (name, ", ".join(sorted(SCENARIOS)))
-            )
-        if name not in profile_params:
-            raise BenchmarkError(
-                "scenario %r has no parameters in profile %r" % (name, profile)
-            )
+                "unknown scenario %r (bench scenarios: %s; library "
+                "scenarios: %s)"
+                % (
+                    name,
+                    ", ".join(sorted(SCENARIOS)),
+                    ", ".join(library_names()),
+                )
+            ) from None
     results = []
     for name in selected:
         # One Chrome-trace "process" (and metadata record) per scenario
@@ -202,7 +227,10 @@ def run_bench(
         obs = _obs.ACTIVE
         if obs.enabled:
             obs.begin_section(name)
-        results.append(SCENARIOS[name](profile_params[name], seed))
+        if name in runners:
+            results.append(runners[name]({}, seed))
+        else:
+            results.append(SCENARIOS[name](profile_params[name], seed))
     return results
 
 

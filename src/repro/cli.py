@@ -31,6 +31,13 @@ Commands
     Record one fully traced inject-under-churn run (``repro.obs``) and
     export it as Chrome ``trace_event`` JSON (Perfetto-loadable) plus
     optional metrics JSONL.
+``smoke``
+    Run the declarative scenario library (``repro.scenarios``) as a
+    parallel matrix of worker processes — per-scenario CPU and wall
+    budgets, crashes and verify-failures reported distinctly — and
+    check every scenario's trace-hash fingerprint against the
+    committed ``SCENARIO_FINGERPRINTS.json``
+    (``--update-fingerprints`` regenerates it).
 """
 
 from __future__ import annotations
@@ -269,6 +276,29 @@ def cmd_bench(args) -> int:
 
     if args.backend == "threads":
         return _bench_threads(args)
+    if args.scenario:
+        # Validate the selection up front against everything this
+        # backend can actually run — the hand-coded bench scenarios
+        # plus the declarative library — so a typo exits immediately
+        # with the full valid set instead of failing mid-run.
+        from repro.bench.scenarios import SCENARIOS
+        from repro.scenarios.registry import library_names
+
+        dsl_names = library_names()
+        unknown = sorted(set(args.scenario) - set(SCENARIOS) - set(dsl_names))
+        if unknown:
+            print(
+                "repro bench: error: unknown scenario(s) %s\n"
+                "  bench scenarios: %s\n"
+                "  library scenarios: %s"
+                % (
+                    ", ".join(unknown),
+                    ", ".join(sorted(SCENARIOS)),
+                    ", ".join(dsl_names),
+                ),
+                file=sys.stderr,
+            )
+            return 2
     recorder = None
     if args.trace or args.metrics_out:
         from repro.obs import Recorder
@@ -414,6 +444,30 @@ def _bench_threads(args) -> int:
         if not ok:
             exit_code = 1
     return exit_code
+
+
+def cmd_smoke(args) -> int:
+    from repro.errors import ReproError
+    from repro.scenarios.smoke import run_smoke
+
+    try:
+        report = run_smoke(
+            names=args.scenario,
+            jobs=args.jobs,
+            wall_budget=args.wall_budget,
+            cpu_budget=args.cpu_budget,
+            fingerprints_path=args.fingerprints,
+            update=args.update_fingerprints,
+            artifacts_dir=args.artifacts,
+            library_dir=args.library,
+        )
+    except ReproError as exc:
+        print("repro smoke: error: %s" % exc, file=sys.stderr)
+        return 2
+    print("\n".join(report.format_lines()))
+    if report.updated:
+        print("fingerprints written to %s" % args.fingerprints)
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -724,6 +778,68 @@ def build_parser() -> argparse.ArgumentParser:
         "always cover every token)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="run the scenario library in parallel and check fingerprints",
+    )
+    smoke.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="run only this library scenario (repeatable; default: all)",
+    )
+    smoke.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: min(scenarios, cores - 1))",
+    )
+    smoke.add_argument(
+        "--wall-budget",
+        type=float,
+        default=120.0,
+        metavar="SEC",
+        help="per-scenario wall-clock budget; exceeding it is a "
+        "distinct 'timeout' outcome (default 120)",
+    )
+    smoke.add_argument(
+        "--cpu-budget",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="per-scenario CPU budget enforced in the worker via "
+        "RLIMIT_CPU where available (default 60)",
+    )
+    smoke.add_argument(
+        "--fingerprints",
+        metavar="PATH",
+        default="SCENARIO_FINGERPRINTS.json",
+        help="committed fingerprint pin file (default "
+        "SCENARIO_FINGERPRINTS.json in the working directory)",
+    )
+    smoke.add_argument(
+        "--update-fingerprints",
+        action="store_true",
+        help="regenerate the pin file from this run (refuses if any "
+        "scenario is not verify-green)",
+    )
+    smoke.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="write smoke_report.json plus one JSON artifact per "
+        "failing scenario into DIR (for CI upload)",
+    )
+    smoke.add_argument(
+        "--library",
+        metavar="DIR",
+        default=None,
+        help="scenario spec directory (default: the committed library)",
+    )
+    smoke.set_defaults(func=cmd_smoke)
 
     trace = sub.add_parser(
         "trace", help="record a traced run (repro.obs) and export it"

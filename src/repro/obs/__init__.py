@@ -33,6 +33,12 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from repro.obs.fingerprint import (
+    canonical_json_bytes,
+    digest_bytes,
+    digest_metrics,
+    digest_payload,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 # NOTE: ``recorder.ACTIVE`` is deliberately not re-exported: a
 # ``from repro.obs import ACTIVE`` would freeze the binding at import
@@ -63,6 +69,10 @@ __all__ = [
     "recording",
     "TraceBuffer",
     "TraceEvent",
+    "canonical_json_bytes",
+    "digest_bytes",
+    "digest_metrics",
+    "digest_payload",
     "chrome_trace_payload",
     "metrics_jsonl",
     "validate_chrome_trace",

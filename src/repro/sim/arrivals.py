@@ -1,0 +1,199 @@
+"""Arrival processes: when (and on which wire) client tokens show up.
+
+The scenario DSL (:mod:`repro.scenarios`) describes workloads as an
+*arrival process* — a schedule of injection instants over simulated
+time — plus a *wire-selection policy* (which input wire each client
+uses). This module is the simulation-level vocabulary both compile to:
+plain, seeded functions returning sorted lists of times, so a schedule
+is a pure function of its parameters and (where applicable) its
+``random.Random`` seed.
+
+Processes
+---------
+``uniform_arrivals``
+    Tokens evenly spaced over a duration — the pacing the
+    ``large_churn`` bench uses, and the steady-state baseline.
+``poisson_arrivals``
+    Memoryless arrivals at a fixed rate: the classic open-system
+    client model (cf. the anonymous-dynamic-network counting
+    literature's arrival assumptions).
+``burst_arrivals``
+    Everything lands in a few same-instant bursts — the configuration
+    the calendar queue's same-timestamp buckets are built for.
+``onoff_arrivals``
+    A repeating phase program (duration, rate) — quiet/loud on-off
+    sources, flash crowds (long quiet phase, short extreme phase), and
+    diurnal ramps (staircase of rates) are all phase programs.
+
+Wire selection
+--------------
+``wire_schedule`` maps a policy name to one wire choice per arrival:
+``round_robin`` (``None`` — the runtime's default round-robin),
+``uniform`` (seeded random wire), or ``hot`` (a hot set of wires
+receives a configured fraction of the traffic — hot-key skew).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "burst_arrivals",
+    "onoff_arrivals",
+    "wire_schedule",
+    "WIRE_POLICIES",
+]
+
+#: Wire-selection policy names ``wire_schedule`` understands.
+WIRE_POLICIES = ("round_robin", "uniform", "hot")
+
+
+def uniform_arrivals(tokens: int, duration: float) -> List[float]:
+    """``tokens`` arrivals evenly spaced over ``(0, duration]``.
+
+    The i-th token arrives at ``(i+1) * duration / tokens`` — the same
+    pacing the time-paced bench scenarios use, so a steady scenario's
+    event stream is directly comparable to theirs.
+    """
+    if tokens < 0:
+        raise SimulationError("tokens must be nonnegative")
+    if duration <= 0:
+        raise SimulationError("duration must be positive")
+    if tokens == 0:
+        return []
+    step = duration / tokens
+    return [(index + 1) * step for index in range(tokens)]
+
+
+def poisson_arrivals(
+    rng: random.Random, tokens: int, rate: float
+) -> List[float]:
+    """``tokens`` arrivals from a Poisson process of the given rate.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; the
+    schedule runs until the token budget is spent (an open system with
+    a fixed injection budget, not a fixed horizon).
+    """
+    if tokens < 0:
+        raise SimulationError("tokens must be nonnegative")
+    if rate <= 0:
+        raise SimulationError("rate must be positive")
+    times: List[float] = []
+    now = 0.0
+    for _ in range(tokens):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def burst_arrivals(
+    tokens: int, bursts: int, spacing: float
+) -> List[float]:
+    """``tokens`` split into ``bursts`` same-instant groups.
+
+    Burst ``k`` lands at ``(k+1) * spacing``; the first
+    ``tokens % bursts`` bursts carry one extra token so the budget is
+    exact. With one burst this is the burst-drain workload: the whole
+    budget at a single instant, then the network drains.
+    """
+    if tokens < 0:
+        raise SimulationError("tokens must be nonnegative")
+    if bursts < 1:
+        raise SimulationError("need at least one burst")
+    if spacing <= 0:
+        raise SimulationError("spacing must be positive")
+    base, extra = divmod(tokens, bursts)
+    times: List[float] = []
+    for index in range(bursts):
+        at = (index + 1) * spacing
+        times.extend([at] * (base + (1 if index < extra else 0)))
+    return times
+
+
+def onoff_arrivals(
+    phases: Sequence[Tuple[float, float]],
+    cycles: int = 1,
+    max_tokens: Optional[int] = None,
+) -> List[float]:
+    """A repeating phase program of ``(duration, rate)`` pairs.
+
+    Within a phase of duration ``d`` and rate ``r``, tokens are paced
+    deterministically at ``1/r`` intervals (``floor(d * r)`` of them) —
+    the schedule is a pure function of the program, which keeps on-off
+    scenarios fingerprintable without consuming a seed. A rate of zero
+    is a silent phase. ``max_tokens`` (the injection budget) truncates
+    the schedule once spent.
+
+    Flash crowd: ``[(90, 0.5), (10, 50)]`` — a trickle, then a spike.
+    Diurnal ramp: ``[(50, 1), (50, 4), (50, 8), (50, 4), (50, 1)]``.
+    """
+    if cycles < 1:
+        raise SimulationError("need at least one cycle")
+    if not phases:
+        raise SimulationError("need at least one phase")
+    for duration, rate in phases:
+        if duration <= 0:
+            raise SimulationError("phase duration must be positive")
+        if rate < 0:
+            raise SimulationError("phase rate cannot be negative")
+    if max_tokens is not None and max_tokens < 0:
+        raise SimulationError("max_tokens must be nonnegative")
+    times: List[float] = []
+    start = 0.0
+    for _ in range(cycles):
+        for duration, rate in phases:
+            count = int(duration * rate)
+            for index in range(count):
+                if max_tokens is not None and len(times) >= max_tokens:
+                    return times
+                times.append(start + (index + 1) / rate)
+            start += duration
+    return times
+
+
+def wire_schedule(
+    rng: random.Random,
+    policy: str,
+    width: int,
+    count: int,
+    hot_wires: int = 1,
+    hot_fraction: float = 0.9,
+) -> List[Optional[int]]:
+    """One wire choice per arrival under the named policy.
+
+    ``round_robin`` yields ``None`` for every arrival (the runtime's
+    injection default already round-robins); ``uniform`` draws a seeded
+    random wire per arrival; ``hot`` sends ``hot_fraction`` of arrivals
+    to the first ``hot_wires`` wires (the hot keys) and spreads the
+    rest uniformly — the skewed load profile a hash-sharded counter
+    cannot balance but a counting network can.
+    """
+    if policy not in WIRE_POLICIES:
+        raise SimulationError(
+            "unknown wire policy %r (choose from %s)"
+            % (policy, ", ".join(WIRE_POLICIES))
+        )
+    if width < 1:
+        raise SimulationError("width must be positive")
+    if count < 0:
+        raise SimulationError("count must be nonnegative")
+    if policy == "round_robin":
+        return [None] * count
+    if policy == "uniform":
+        return [rng.randrange(width) for _ in range(count)]
+    if not 1 <= hot_wires <= width:
+        raise SimulationError("hot_wires must be in [1, width]")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise SimulationError("hot_fraction must be in [0, 1]")
+    schedule: List[Optional[int]] = []
+    for _ in range(count):
+        if rng.random() < hot_fraction:
+            schedule.append(rng.randrange(hot_wires))
+        else:
+            schedule.append(rng.randrange(width))
+    return schedule

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import SimulationError
 
@@ -47,6 +47,67 @@ def churn_trace(
             t += rng.expovariate(rate)
     events.sort(key=lambda e: e.time)
     return events
+
+
+def correlated_crash_trace(
+    rng: random.Random,
+    duration: float,
+    rate: float,
+    batch: int,
+) -> List[ChurnEvent]:
+    """Crashes arriving in correlated batches (rack/AZ failures).
+
+    Failure instants form a Poisson process of the given ``rate``; each
+    instant carries ``batch`` simultaneous crash events (same
+    timestamp), modelling the correlated-failure mode — a switch or a
+    rack power supply taking several nodes at once — that independent
+    per-node crash models miss. Events are returned time-ordered.
+    """
+    if duration <= 0:
+        raise SimulationError("duration must be positive")
+    if rate < 0:
+        raise SimulationError("negative rate for correlated crashes")
+    if batch < 1:
+        raise SimulationError("batch must be at least 1")
+    events: List[ChurnEvent] = []
+    if rate == 0:
+        return events
+    t = rng.expovariate(rate)
+    while t < duration:
+        events.extend(ChurnEvent(t, "crash") for _ in range(batch))
+        t += rng.expovariate(rate)
+    return events
+
+
+def oscillation_trace(
+    period: float,
+    count: int,
+    start: Optional[float] = None,
+    first: str = "join",
+) -> List[ChurnEvent]:
+    """Adversarial join/leave oscillation: strictly alternating
+    membership changes at a fixed period.
+
+    ``count`` events alternate join / graceful leave starting with
+    ``first``, one every ``period`` time units from ``start`` (default
+    one period in). This parks the system at a split/merge threshold:
+    each oscillation nudges the size estimate back and forth, so
+    hysteresis (or its absence) is what decides whether the network
+    thrashes through reconfigurations.
+    """
+    if period <= 0:
+        raise SimulationError("period must be positive")
+    if count < 0:
+        raise SimulationError("count must be nonnegative")
+    if first not in ("join", "leave"):
+        raise SimulationError("first must be 'join' or 'leave'")
+    if start is None:
+        start = period
+    other = "leave" if first == "join" else "join"
+    return [
+        ChurnEvent(start + index * period, first if index % 2 == 0 else other)
+        for index in range(count)
+    ]
 
 
 def growth_then_shrink(

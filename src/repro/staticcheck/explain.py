@@ -164,6 +164,15 @@ EXPLANATIONS: Dict[str, Explanation] = {
         "initialised in one place but not the other.",
         "token = Token(tid, wire, now)  # use TokenPool.acquire(...)",
     ),
+    "RSC308": Explanation(
+        "The scenario library is committed data: the smoke matrix and "
+        "the bench bridge load every spec under scenarios/library/ at "
+        "run time, so a schema-invalid spec would otherwise surface "
+        "only as a matrix failure. The lint walk validates each spec "
+        "through the same validator repro smoke uses and reports each "
+        "problem with its dotted-path message.",
+        '{"arrivals": {"kind": "bursty"}}  # valid kinds: burst, ...',
+    ),
     # ------------------------------------------------------------------
     # Pass 4 — protocol message flow
     # ------------------------------------------------------------------

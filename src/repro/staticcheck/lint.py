@@ -62,6 +62,17 @@ linter needed, so the gate runs anywhere the package imports:
     the system's injection API) and let the bus build envelopes. Tests
     and fixtures are exempt — the rule is scoped to ``repro.*``.
 
+``RSC308`` — committed scenario specs must validate.
+    The declarative scenario library (``repro.scenarios``) is data the
+    smoke matrix and the bench bridge both load at run time; a spec
+    file under a ``scenarios/library/`` directory that fails schema
+    validation would otherwise only surface when the matrix runs. The
+    lint walk validates every ``.json``/``.toml`` spec it finds there
+    (and any spec file passed to it directly) through the same
+    validator ``repro smoke`` uses, reporting each schema problem as
+    its own finding with the validator's actionable dotted-path
+    message.
+
 ``RSC306`` — no eager string formatting at observability record calls.
     ``repro.obs`` hook sites run on the simulator/runtime hot paths and
     are designed to cost one attribute load and a truthiness test when
@@ -583,13 +594,52 @@ def lint_source(
     return report
 
 
+#: Suffixes the RSC308 scenario-spec check accepts (mirrors
+#: ``repro.scenarios.spec.SPEC_SUFFIXES``; duplicated literally so the
+#: walk needs no import when no spec file is ever encountered).
+_SPEC_SUFFIXES = (".json", ".toml")
+
+
+def _is_spec_library_dir(dirpath: str) -> bool:
+    """Whether a directory is a scenario library (``.../scenarios/library``)."""
+    head, tail = os.path.split(os.path.normpath(dirpath))
+    return tail == "library" and os.path.basename(head) == "scenarios"
+
+
+def lint_spec_file(path: str, report: Report) -> None:
+    """RSC308: validate one scenario spec file into the report.
+
+    Emits one finding per schema problem, using the same validator and
+    messages ``repro smoke`` would fail with.
+    """
+    from repro.scenarios.spec import spec_file_problems
+
+    for problem in spec_file_problems(path):
+        report.add(
+            "RSC308",
+            "invalid scenario spec: %s" % problem,
+            path,
+            line=1,
+        )
+
+
 def _iter_python_files(
     paths: Iterable[str], exclude_dirs: Sequence[str], report: Report
-) -> List[str]:
+) -> Tuple[List[str], List[str]]:
+    """Collect lintable files: ``(.py files, scenario spec files)``.
+
+    Spec files are picked up from ``scenarios/library/`` directories
+    during the walk, or when passed as an explicit file argument with a
+    spec suffix.
+    """
     files: List[str] = []
+    spec_files: List[str] = []
     for path in paths:
         if os.path.isfile(path):
-            files.append(path)
+            if path.endswith(_SPEC_SUFFIXES):
+                spec_files.append(path)
+            else:
+                files.append(path)
             continue
         if not os.path.isdir(path):
             report.add("RSC300", "no such file or directory", path)
@@ -599,10 +649,13 @@ def _iter_python_files(
                 d for d in dirnames
                 if d not in exclude_dirs and not d.startswith(".")
             )
+            in_library = _is_spec_library_dir(dirpath)
             for name in sorted(filenames):
                 if name.endswith(".py"):
                     files.append(os.path.join(dirpath, name))
-    return files
+                elif in_library and name.endswith(_SPEC_SUFFIXES):
+                    spec_files.append(os.path.join(dirpath, name))
+    return files, spec_files
 
 
 def lint_paths(
@@ -617,7 +670,8 @@ def lint_paths(
     """
     if report is None:
         report = Report()
-    for filename in _iter_python_files(paths, exclude_dirs, report):
+    files, spec_files = _iter_python_files(paths, exclude_dirs, report)
+    for filename in files:
         try:
             with open(filename, "r", encoding="utf-8") as handle:
                 source = handle.read()
@@ -625,4 +679,6 @@ def lint_paths(
             report.add("RSC300", "cannot read file: %s" % exc, filename)
             continue
         lint_source(source, filename, report=report)
+    for filename in spec_files:
+        lint_spec_file(filename, report)
     return report

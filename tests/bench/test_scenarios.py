@@ -6,9 +6,12 @@ everything it reports except the wall-clock rate must be a pure
 function of the seed, and the run must end verify-green.
 """
 
+import json
+import os
+
 from repro.bench import run_bench
 from repro.bench.result import WALL_CLOCK_METRIC_KEYS
-from repro.bench.scenarios import bench_large_churn
+from repro.bench.scenarios import bench_huge_churn, bench_large_churn
 
 TINY = {
     "width": 8,
@@ -63,3 +66,53 @@ class TestLargeChurn:
         a = bench_large_churn(dict(TINY), seed=1)
         b = bench_large_churn(dict(TINY), seed=2)
         assert strip_wall_clock(a) != strip_wall_clock(b)
+
+
+TINY_HUGE = {
+    "width": 8,
+    "nodes": 12,
+    "tokens": 120,
+    "burst": 4,
+    "duration": 60.0,
+    "join_rate": 0.05,
+    "crash_rate": 0.05,
+    "min_nodes": 6,
+}
+
+
+class TestHugeChurnLatencyPercentiles:
+    """``huge_churn`` must report simulated-latency percentiles as
+    seed-pure metrics (the schema-3 contract this suite pins)."""
+
+    def test_percentiles_reported_and_ordered(self):
+        result = bench_huge_churn(dict(TINY_HUGE), seed=5)
+        metrics = result.metrics
+        assert metrics["latency_p50"] > 0
+        assert metrics["latency_p99"] >= metrics["latency_p50"]
+
+    def test_percentiles_are_pure_functions_of_the_seed(self):
+        first = bench_huge_churn(dict(TINY_HUGE), seed=3)
+        second = bench_huge_churn(dict(TINY_HUGE), seed=3)
+        assert strip_wall_clock(first) == strip_wall_clock(second)
+        assert (
+            first.metrics["latency_p50"] == second.metrics["latency_p50"]
+        )
+        assert (
+            first.metrics["latency_p99"] == second.metrics["latency_p99"]
+        )
+
+    def test_percentiles_are_not_wall_clock_metrics(self):
+        # Fingerprint safety: the percentiles are sim-time values, so
+        # they must NOT be excluded from determinism comparisons.
+        assert "latency_p50" not in WALL_CLOCK_METRIC_KEYS
+        assert "latency_p99" not in WALL_CLOCK_METRIC_KEYS
+
+    def test_committed_baseline_carries_the_percentiles(self):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        with open(os.path.join(repo_root, "BENCH_6.json")) as handle:
+            committed = json.load(handle)
+        metrics = committed["scenarios"]["huge_churn"]["metrics"]
+        assert metrics["latency_p50"] > 0
+        assert metrics["latency_p99"] >= metrics["latency_p50"]

@@ -1,0 +1,71 @@
+"""Tests for the byte-deterministic fingerprint digests."""
+
+from repro.obs.export import metrics_jsonl
+from repro.obs.fingerprint import (
+    canonical_json_bytes,
+    digest_bytes,
+    digest_metrics,
+    digest_payload,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCanonicalJson:
+    def test_keys_sorted_and_separators_fixed(self):
+        assert (
+            canonical_json_bytes({"b": 1, "a": [1, 2]})
+            == b'{"a":[1,2],"b":1}'
+        )
+
+    def test_key_order_does_not_matter(self):
+        assert canonical_json_bytes({"x": 1, "y": 2}) == canonical_json_bytes(
+            {"y": 2, "x": 1}
+        )
+
+
+class TestDigests:
+    def test_digest_is_prefixed_sha256_hex(self):
+        digest = digest_bytes(b"hello")
+        assert digest.startswith("sha256:")
+        hexpart = digest.split(":", 1)[1]
+        assert len(hexpart) == 64
+        assert set(hexpart) <= set("0123456789abcdef")
+
+    def test_payload_digest_matches_canonical_bytes(self):
+        payload = {"summary": {"tokens": 5}, "version": 1}
+        assert digest_payload(payload) == digest_bytes(
+            canonical_json_bytes(payload)
+        )
+
+    def test_equal_payloads_equal_digests(self):
+        assert digest_payload({"a": 1, "b": 2}) == digest_payload(
+            {"b": 2, "a": 1}
+        )
+
+    def test_different_payloads_differ(self):
+        assert digest_payload({"a": 1}) != digest_payload({"a": 2})
+
+
+class TestMetricsDigest:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("tokens.retired").inc(7)
+        registry.gauge("pool.free", ("tokens",)).set(3)
+        registry.histogram("token.latency").record(1.5)
+        return registry
+
+    def test_digest_is_over_the_jsonl_export_bytes(self):
+        registry = self.make_registry()
+        assert digest_metrics(registry) == digest_bytes(
+            metrics_jsonl(registry).encode("utf-8")
+        )
+
+    def test_same_recorded_values_same_digest(self):
+        assert digest_metrics(self.make_registry()) == digest_metrics(
+            self.make_registry()
+        )
+
+    def test_recorded_values_change_the_digest(self):
+        changed = self.make_registry()
+        changed.counter("tokens.retired").inc()
+        assert digest_metrics(changed) != digest_metrics(self.make_registry())

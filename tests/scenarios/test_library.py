@@ -1,0 +1,107 @@
+"""Tests for the committed scenario library and its fingerprint pins."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import run_bench
+from repro.errors import BenchmarkError
+from repro.scenarios.registry import (
+    LIBRARY_DIR,
+    get_scenario,
+    library_names,
+    library_paths,
+    load_library,
+)
+from repro.scenarios.spec import ScenarioSpecError, spec_file_problems
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FINGERPRINTS = os.path.join(REPO_ROOT, "SCENARIO_FINGERPRINTS.json")
+
+#: The scenarios the issue requires the library to ship, by exact name.
+REQUIRED = {
+    "flash_crowd",
+    "diurnal_ramp",
+    "hot_key_skew",
+    "correlated_crashes",
+    "network_partition",
+    "join_leave_oscillation",
+    "mixed_app_traffic",
+    "burst_drain",
+    "slow_network",
+    "churn_while_splitting",
+    "churn_while_merging",
+    "steady_baseline",
+}
+
+
+class TestLibrary:
+    def test_library_has_at_least_twelve_scenarios(self):
+        assert len(library_names()) >= 12
+
+    def test_required_scenarios_present(self):
+        assert REQUIRED <= set(library_names())
+
+    def test_every_committed_spec_validates(self):
+        for path in library_paths():
+            assert spec_file_problems(path) == [], path
+
+    def test_committed_specs_are_json(self):
+        # TOML needs Python 3.11+; the committed set must load on every
+        # supported interpreter, so only user-authored specs may be TOML.
+        for path in library_paths():
+            assert path.endswith(".json"), path
+
+    def test_names_match_file_stems(self):
+        for name, spec in load_library().items():
+            assert spec.name == name
+
+    def test_get_scenario_unknown_name_lists_library(self):
+        with pytest.raises(ScenarioSpecError) as excinfo:
+            get_scenario("warp_drive")
+        assert "steady_baseline" in str(excinfo.value)
+
+    def test_library_dir_is_the_committed_one(self):
+        assert os.path.basename(LIBRARY_DIR) == "library"
+        assert os.path.isdir(LIBRARY_DIR)
+
+
+class TestFingerprintPins:
+    def test_pin_file_exists_and_is_schema_1(self):
+        with open(FINGERPRINTS, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == 1
+        assert isinstance(document["fingerprints"], dict)
+
+    def test_pins_cover_exactly_the_library(self):
+        with open(FINGERPRINTS, "r", encoding="utf-8") as handle:
+            pins = json.load(handle)["fingerprints"]
+        assert sorted(pins) == library_names()
+
+    def test_pins_are_prefixed_digests(self):
+        with open(FINGERPRINTS, "r", encoding="utf-8") as handle:
+            pins = json.load(handle)["fingerprints"]
+        for name, digest in pins.items():
+            assert digest.startswith("sha256:"), name
+            assert len(digest) == len("sha256:") + 64, name
+
+
+class TestBenchBridge:
+    def test_run_bench_accepts_library_scenarios(self):
+        results = run_bench(profile="smoke", seed=0, only=["steady_baseline"])
+        assert len(results) == 1
+        assert results[0].name == "steady_baseline"
+        assert results[0].metrics["dropped"] == 0
+
+    def test_run_bench_unknown_name_lists_both_registries(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            run_bench(profile="smoke", seed=0, only=["warp_drive"])
+        message = str(excinfo.value)
+        assert "token_routing" in message
+        assert "steady_baseline" in message
+
+    def test_default_run_is_unchanged_by_the_bridge(self):
+        names = [r.name for r in run_bench(profile="smoke", seed=0,
+                                           only=["token_routing"])]
+        assert names == ["token_routing"]

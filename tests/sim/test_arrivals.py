@@ -1,0 +1,143 @@
+"""Tests for arrival processes and wire-selection policies."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.arrivals import (
+    WIRE_POLICIES,
+    burst_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+    wire_schedule,
+)
+
+
+class TestUniformArrivals:
+    def test_evenly_spaced_over_duration(self):
+        times = uniform_arrivals(4, 20.0)
+        assert times == [5.0, 10.0, 15.0, 20.0]
+
+    def test_zero_tokens_is_empty(self):
+        assert uniform_arrivals(0, 10.0) == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            uniform_arrivals(-1, 10.0)
+        with pytest.raises(SimulationError):
+            uniform_arrivals(5, 0.0)
+
+
+class TestPoissonArrivals:
+    def test_budget_exact_and_sorted(self):
+        times = poisson_arrivals(random.Random(1), 50, 2.0)
+        assert len(times) == 50
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_seeded_reproducible(self):
+        a = poisson_arrivals(random.Random(9), 30, 1.5)
+        b = poisson_arrivals(random.Random(9), 30, 1.5)
+        assert a == b
+
+    def test_mean_gap_approximately_inverse_rate(self):
+        times = poisson_arrivals(random.Random(2), 5000, 4.0)
+        assert 0.9 / 4.0 < times[-1] / len(times) < 1.1 / 4.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            poisson_arrivals(random.Random(0), -1, 1.0)
+        with pytest.raises(SimulationError):
+            poisson_arrivals(random.Random(0), 10, 0.0)
+
+
+class TestBurstArrivals:
+    def test_bursts_share_an_instant(self):
+        times = burst_arrivals(10, 3, 2.0)
+        assert len(times) == 10
+        # 10 over 3 bursts: the first 10 % 3 = 1 burst carries an extra.
+        assert times.count(2.0) == 4
+        assert times.count(4.0) == 3
+        assert times.count(6.0) == 3
+
+    def test_single_burst_is_one_instant(self):
+        times = burst_arrivals(7, 1, 1.0)
+        assert times == [1.0] * 7
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            burst_arrivals(-1, 2, 1.0)
+        with pytest.raises(SimulationError):
+            burst_arrivals(10, 0, 1.0)
+        with pytest.raises(SimulationError):
+            burst_arrivals(10, 2, 0.0)
+
+
+class TestOnOffArrivals:
+    def test_phase_program_paces_deterministically(self):
+        # 10s at rate 0.5 → 5 tokens at 2,4,6,8,10; then silence.
+        times = onoff_arrivals([(10.0, 0.5), (10.0, 0.0)])
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_cycles_repeat_the_program(self):
+        times = onoff_arrivals([(4.0, 1.0)], cycles=2)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+    def test_budget_truncates(self):
+        times = onoff_arrivals([(100.0, 10.0)], max_tokens=7)
+        assert len(times) == 7
+
+    def test_pure_function_no_seed_needed(self):
+        assert onoff_arrivals([(60.0, 0.5), (10.0, 30.0)]) == onoff_arrivals(
+            [(60.0, 0.5), (10.0, 30.0)]
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            onoff_arrivals([])
+        with pytest.raises(SimulationError):
+            onoff_arrivals([(10.0, 1.0)], cycles=0)
+        with pytest.raises(SimulationError):
+            onoff_arrivals([(0.0, 1.0)])
+        with pytest.raises(SimulationError):
+            onoff_arrivals([(10.0, -1.0)])
+        with pytest.raises(SimulationError):
+            onoff_arrivals([(10.0, 1.0)], max_tokens=-1)
+
+
+class TestWireSchedule:
+    def test_round_robin_defers_to_runtime(self):
+        wires = wire_schedule(random.Random(0), "round_robin", 8, 5)
+        assert wires == [None] * 5
+
+    def test_uniform_in_range_and_seeded(self):
+        a = wire_schedule(random.Random(3), "uniform", 8, 200)
+        b = wire_schedule(random.Random(3), "uniform", 8, 200)
+        assert a == b
+        assert all(0 <= wire < 8 for wire in a)
+
+    def test_hot_policy_skews_to_hot_set(self):
+        wires = wire_schedule(
+            random.Random(4), "hot", 16, 2000, hot_wires=2, hot_fraction=0.9
+        )
+        hot = sum(1 for wire in wires if wire < 2)
+        # ~90% direct hot hits plus uniform spill into wires 0-1.
+        assert hot > 1600
+        assert all(0 <= wire < 16 for wire in wires)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            wire_schedule(random.Random(0), "zipf", 8, 5)
+        with pytest.raises(SimulationError):
+            wire_schedule(random.Random(0), "uniform", 0, 5)
+        with pytest.raises(SimulationError):
+            wire_schedule(random.Random(0), "uniform", 8, -1)
+        with pytest.raises(SimulationError):
+            wire_schedule(random.Random(0), "hot", 8, 5, hot_wires=0)
+        with pytest.raises(SimulationError):
+            wire_schedule(random.Random(0), "hot", 8, 5, hot_fraction=1.5)
+
+    def test_policy_names_exported(self):
+        assert WIRE_POLICIES == ("round_robin", "uniform", "hot")

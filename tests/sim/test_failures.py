@@ -5,7 +5,13 @@ import random
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.failures import ChurnEvent, churn_trace, growth_then_shrink
+from repro.sim.failures import (
+    ChurnEvent,
+    churn_trace,
+    correlated_crash_trace,
+    growth_then_shrink,
+    oscillation_trace,
+)
 
 
 class TestChurnTrace:
@@ -37,6 +43,67 @@ class TestChurnTrace:
         a = churn_trace(random.Random(7), 100.0, 0.5, 0.5, 0.2)
         b = churn_trace(random.Random(7), 100.0, 0.5, 0.5, 0.2)
         assert a == b
+
+
+class TestCorrelatedCrashTrace:
+    def test_batches_share_a_timestamp(self):
+        events = correlated_crash_trace(
+            random.Random(5), duration=200.0, rate=0.05, batch=3
+        )
+        assert events, "rate 0.05 over 200 time units should fire"
+        assert all(e.action == "crash" for e in events)
+        assert len(events) % 3 == 0
+        for index in range(0, len(events), 3):
+            group = events[index : index + 3]
+            assert len({e.time for e in group}) == 1
+
+    def test_time_ordered_within_duration(self):
+        events = correlated_crash_trace(random.Random(6), 100.0, 0.1, 2)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t < 100.0 for t in times)
+
+    def test_zero_rate_is_empty(self):
+        assert correlated_crash_trace(random.Random(0), 50.0, 0.0, 4) == []
+
+    def test_seeded_reproducible(self):
+        a = correlated_crash_trace(random.Random(8), 100.0, 0.05, 3)
+        b = correlated_crash_trace(random.Random(8), 100.0, 0.05, 3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            correlated_crash_trace(random.Random(0), 0.0, 0.1, 2)
+        with pytest.raises(SimulationError):
+            correlated_crash_trace(random.Random(0), 10.0, -0.1, 2)
+        with pytest.raises(SimulationError):
+            correlated_crash_trace(random.Random(0), 10.0, 0.1, 0)
+
+
+class TestOscillationTrace:
+    def test_alternation_at_fixed_period(self):
+        events = oscillation_trace(period=5.0, count=4)
+        assert [e.time for e in events] == [5.0, 10.0, 15.0, 20.0]
+        assert [e.action for e in events] == ["join", "leave", "join", "leave"]
+
+    def test_first_leave(self):
+        events = oscillation_trace(period=2.0, count=3, first="leave")
+        assert [e.action for e in events] == ["leave", "join", "leave"]
+
+    def test_explicit_start(self):
+        events = oscillation_trace(period=10.0, count=2, start=1.0)
+        assert [e.time for e in events] == [1.0, 11.0]
+
+    def test_zero_count_is_empty(self):
+        assert oscillation_trace(period=1.0, count=0) == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            oscillation_trace(period=0.0, count=4)
+        with pytest.raises(SimulationError):
+            oscillation_trace(period=1.0, count=-1)
+        with pytest.raises(SimulationError):
+            oscillation_trace(period=1.0, count=2, first="crash")
 
 
 class TestGrowthThenShrink:

@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.latency import ConstantLatency, ExponentialLatency, UniformLatency
+from repro.sim.latency import (
+    ConstantLatency,
+    DiscreteLatency,
+    ExponentialLatency,
+    UniformLatency,
+)
 
 
 class TestConstantLatency:
@@ -32,6 +37,50 @@ class TestUniformLatency:
             UniformLatency(3.0, 1.0, random.Random(0))
         with pytest.raises(SimulationError):
             UniformLatency(-1.0, 1.0, random.Random(0))
+
+
+class TestDiscreteLatency:
+    def test_samples_drawn_from_the_value_set(self):
+        values = [0.5, 1.0, 2.0]
+        model = DiscreteLatency(values, random.Random(1))
+        samples = [model.sample() for _ in range(200)]
+        assert set(samples) <= set(values)
+        # All three path classes show up in a run this long.
+        assert set(samples) == set(values)
+
+    def test_seeded_reproducible(self):
+        a = DiscreteLatency([1.0, 3.0], random.Random(4))
+        b = DiscreteLatency([1.0, 3.0], random.Random(4))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_weights_bias_the_draw(self):
+        model = DiscreteLatency(
+            [1.0, 9.0], random.Random(2), weights=[99.0, 1.0]
+        )
+        samples = [model.sample() for _ in range(1000)]
+        assert samples.count(1.0) > 950
+
+    def test_single_value_degenerates_to_constant(self):
+        model = DiscreteLatency([2.5], random.Random(0))
+        assert [model.sample() for _ in range(5)] == [2.5] * 5
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(SimulationError):
+            DiscreteLatency([], random.Random(0))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SimulationError):
+            DiscreteLatency([1.0, -0.5], random.Random(0))
+
+    def test_weights_must_match_values_one_to_one(self):
+        with pytest.raises(SimulationError):
+            DiscreteLatency([1.0, 2.0], random.Random(0), weights=[1.0])
+
+    def test_all_zero_or_negative_weights_rejected(self):
+        with pytest.raises(SimulationError):
+            DiscreteLatency([1.0, 2.0], random.Random(0), weights=[0.0, 0.0])
+        with pytest.raises(SimulationError):
+            DiscreteLatency([1.0, 2.0], random.Random(0), weights=[-1.0, 2.0])
 
 
 class TestExponentialLatency:

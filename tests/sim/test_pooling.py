@@ -251,3 +251,42 @@ class TestSystemRecycling:
         for pool_stats in snapshot.values():
             assert set(pool_stats) == {"created", "reused", "free"}
         assert snapshot["handles"]["created"] > 0
+
+    def test_snapshot_agrees_with_the_pools_own_accounting(self):
+        from repro.runtime.system import AdaptiveCountingSystem
+
+        system = AdaptiveCountingSystem(
+            width=4, seed=3, initial_nodes=4, recycle_tokens=True
+        )
+        system.converge()
+        for _ in range(10):
+            system.inject_token()
+        system.run_until_quiescent()
+        snapshot = system.publish_pool_stats()
+        assert snapshot["tokens"] == system.token_pool.stats()
+        assert snapshot["envelopes"] == system.bus.pool_stats()
+        assert snapshot["handles"] == system.sim.pool_stats()
+        # Every issued token came out of the pool, one way or the other.
+        tokens = snapshot["tokens"]
+        assert tokens["created"] + tokens["reused"] == 10
+        # Quiescent: every recycled record is home on the freelist.
+        assert tokens["free"] == tokens["created"]
+
+    def test_publish_pool_stats_sets_recorder_gauges(self):
+        from repro.obs.recorder import Recorder as ObsRecorder
+        from repro.obs.recorder import recording
+        from repro.runtime.system import AdaptiveCountingSystem
+
+        system = AdaptiveCountingSystem(
+            width=4, seed=3, initial_nodes=4, recycle_tokens=True
+        )
+        system.converge()
+        with recording(ObsRecorder()) as recorder:
+            system.inject_token()
+            system.run_until_quiescent()
+            snapshot = system.publish_pool_stats()
+        metrics = recorder.metrics
+        for name, stats in snapshot.items():
+            assert metrics.gauge("pool.created", (name,)).value == stats["created"]
+            assert metrics.gauge("pool.reused", (name,)).value == stats["reused"]
+            assert metrics.gauge("pool.free", (name,)).value == stats["free"]

@@ -298,6 +298,58 @@ class TestPooledConstruction:
         assert lint_source(source, "x.py", module="repro.runtime.injector").ok
 
 
+class TestScenarioSpecRule:
+    """RSC308 — committed scenario spec files must pass schema
+    validation, with one finding per schema problem."""
+
+    SPEC_FIXTURE = os.path.join(HERE, "fixtures", "scenario_spec_bad.json")
+
+    def test_fixture_trips_one_finding_per_problem(self):
+        report = lint_paths([self.SPEC_FIXTURE])
+        assert report.codes() == ["RSC308"] * 6
+        text = report.format()
+        assert "network.width" in text
+        assert "arrivals.kind" in text
+        assert "arrivals.tokens" in text
+        assert "unknown_table" in text
+
+    def test_messages_match_the_smoke_validator(self):
+        from repro.scenarios.spec import spec_file_problems
+
+        report = lint_paths([self.SPEC_FIXTURE])
+        linted = [d.message for d in report]
+        assert linted == [
+            "invalid scenario spec: %s" % problem
+            for problem in spec_file_problems(self.SPEC_FIXTURE)
+        ]
+
+    def test_walk_picks_up_library_specs(self, tmp_path):
+        library = tmp_path / "scenarios" / "library"
+        library.mkdir(parents=True)
+        (library / "broken.json").write_text('{"arrivals": {"kind": "x"}}')
+        report = lint_paths([str(tmp_path)])
+        assert "RSC308" in report.codes()
+        assert any(d.source.endswith("broken.json") for d in report)
+
+    def test_json_outside_a_library_dir_is_ignored(self, tmp_path):
+        (tmp_path / "config.json").write_text('{"arrivals": {"kind": "x"}}')
+        assert lint_paths([str(tmp_path)]).ok
+
+    def test_committed_library_is_clean(self):
+        library = os.path.join(
+            REPO_ROOT, "src", "repro", "scenarios", "library"
+        )
+        report = lint_paths([library])
+        assert report.ok, report.format()
+
+    def test_code_registered_and_explained(self):
+        from repro.staticcheck.diagnostics import KNOWN_CODES
+        from repro.staticcheck.explain import EXPLANATIONS
+
+        assert "RSC308" in KNOWN_CODES
+        assert "RSC308" in EXPLANATIONS
+
+
 class TestRepoIsClean:
     """The lint rules must pass on the repository's own code."""
 

@@ -42,6 +42,11 @@ class TestPublicApi:
             "repro.analysis.largescale",
             "repro.analysis.render",
             "repro.ext",
+            "repro.scenarios",
+            "repro.scenarios.spec",
+            "repro.scenarios.compile",
+            "repro.scenarios.registry",
+            "repro.scenarios.smoke",
             "repro.cli",
             "repro.errors",
         ],
@@ -52,7 +57,8 @@ class TestPublicApi:
 
     def test_subpackage_all_exports_resolve(self):
         for name in ("repro.core", "repro.chord", "repro.sim", "repro.runtime",
-                     "repro.apps", "repro.analysis", "repro.ext"):
+                     "repro.apps", "repro.analysis", "repro.ext",
+                     "repro.scenarios"):
             module = importlib.import_module(name)
             for export in getattr(module, "__all__", []):
                 assert hasattr(module, export), (name, export)
